@@ -1,0 +1,263 @@
+// Package ocb_test hosts the repository-level benchmark suite: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (regenerating the artefact through internal/exp), plus micro-benchmarks
+// for the substrates the results rest on.
+//
+// Table/figure benches run the Quick geometry so `go test -bench=.` stays
+// tractable; cmd/ocb-experiments (without -quick) regenerates the
+// full-scale numbers recorded in EXPERIMENTS.md.
+package ocb_test
+
+import (
+	"testing"
+
+	"ocb/internal/cluster"
+	"ocb/internal/core"
+	"ocb/internal/dstc"
+	"ocb/internal/exp"
+	"ocb/internal/lewis"
+	"ocb/internal/oo1"
+	"ocb/internal/report"
+	"ocb/internal/store"
+)
+
+var quick = exp.Config{Quick: true}
+
+// benchTable runs one experiment per iteration and defeats dead-code
+// elimination through the row count.
+func benchTable(b *testing.B, run func(exp.Config) (*report.Table, error)) {
+	b.Helper()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		t, err := run(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows += t.NumRows()
+	}
+	if rows == 0 {
+		b.Fatal("no rows produced")
+	}
+}
+
+// BenchmarkTable1_DatabaseParams regenerates paper Table 1.
+func BenchmarkTable1_DatabaseParams(b *testing.B) { benchTable(b, exp.Table1) }
+
+// BenchmarkTable2_WorkloadParams regenerates paper Table 2.
+func BenchmarkTable2_WorkloadParams(b *testing.B) { benchTable(b, exp.Table2) }
+
+// BenchmarkTable3_CluBApproximation regenerates paper Table 3.
+func BenchmarkTable3_CluBApproximation(b *testing.B) { benchTable(b, exp.Table3) }
+
+// BenchmarkFig4_CreationTime regenerates paper Figure 4 (database average
+// creation time vs size and class count).
+func BenchmarkFig4_CreationTime(b *testing.B) { benchTable(b, exp.Fig4) }
+
+// BenchmarkTable4_DSTCGain regenerates paper Table 4 (DSTC measured with
+// DSTC-CluB and with OCB approximating CluB).
+func BenchmarkTable4_DSTCGain(b *testing.B) { benchTable(b, exp.Table4) }
+
+// BenchmarkTable5_MixedWorkload regenerates paper Table 5 (DSTC under
+// OCB's default workload).
+func BenchmarkTable5_MixedWorkload(b *testing.B) { benchTable(b, exp.Table5) }
+
+// BenchmarkAblation benchmarks every DESIGN.md ablation experiment.
+func BenchmarkAblation(b *testing.B) {
+	for _, e := range []struct {
+		name string
+		run  func(exp.Config) (*report.Table, error)
+	}{
+		{"Policies", exp.Policies},
+		{"BufferSweep", exp.BufferSweep},
+		{"MultiClient", exp.MultiClient},
+		{"Reverse", exp.Reverse},
+		{"DSTCSensitivity", exp.DSTCSensitivity},
+		{"GenericWorkload", exp.GenericWorkload},
+		{"RootSkew", exp.RootSkew},
+		{"SimulatedTestbed", exp.SimulatedTestbed},
+		{"TypeBreakdown", exp.TypeBreakdown},
+	} {
+		b.Run(e.name, func(b *testing.B) { benchTable(b, e.run) })
+	}
+}
+
+// BenchmarkRelatedWork benchmarks the three comparator benchmark suites.
+func BenchmarkRelatedWork(b *testing.B) {
+	for _, e := range []struct {
+		name string
+		run  func(exp.Config) (*report.Table, error)
+	}{
+		{"OO1", exp.OO1Suite},
+		{"HyperModel", exp.HyperModelSuite},
+		{"OO7", exp.OO7Suite},
+	} {
+		b.Run(e.name, func(b *testing.B) { benchTable(b, e.run) })
+	}
+}
+
+// BenchmarkGeneration measures raw database generation across schema
+// sizes (the quantity Figure 4 plots).
+func BenchmarkGeneration(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		nc, no int
+	}{
+		{"NC1/NO1000", 1, 1000},
+		{"NC20/NO1000", 20, 1000},
+		{"NC50/NO1000", 50, 1000},
+		{"NC20/NO10000", 20, 10000},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			p := core.DefaultParams()
+			p.NC = cfg.nc
+			p.SupClass = cfg.nc
+			p.NO = cfg.no
+			p.SupRef = cfg.no
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Seed = int64(i + 1)
+				if _, err := core.Generate(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransaction measures one transaction of each OCB type on a
+// resident database.
+func BenchmarkTransaction(b *testing.B) {
+	p := core.DefaultParams()
+	p.NO = 5000
+	p.SupRef = 5000
+	p.BufferPages = 2048 // fully resident: measures CPU cost of navigation
+	db, err := core.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, typ := range []core.TxType{
+		core.SetAccess, core.SimpleTraversal, core.HierarchyTraversal, core.StochasticTraversal,
+	} {
+		typ := typ
+		b.Run(typ.String(), func(b *testing.B) {
+			src := lewis.New(42)
+			ex := core.NewExecutor(db, nil, src)
+			depth := map[core.TxType]int{
+				core.SetAccess: p.SetDepth, core.SimpleTraversal: p.SimDepth,
+				core.HierarchyTraversal: p.HieDepth, core.StochasticTraversal: p.StoDepth,
+			}[typ]
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tx := core.Transaction{
+					Type:    typ,
+					Root:    store.OID(src.IntRange(1, p.NO)),
+					Depth:   depth,
+					RefType: 1 + i%p.NRefT,
+				}
+				if _, err := ex.Exec(tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOO1Traversal measures the canonical OO1 depth-7 traversal.
+func BenchmarkOO1Traversal(b *testing.B) {
+	p := oo1.DefaultParams()
+	p.NumParts = 4000
+	p.RefZone = 40
+	p.BufferPages = 2048
+	db, err := oo1.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Traversal(nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReorganize measures the physical reorganization step for DSTC
+// and the static baselines.
+func BenchmarkReorganize(b *testing.B) {
+	build := func() (*core.Database, error) {
+		p := core.CluBParams()
+		p.NO = 4000
+		p.SupRef = 4000
+		p.BufferPages = 64
+		return core.Generate(p)
+	}
+	b.Run("dstc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, err := build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			policy := dstc.New(dstc.Params{ObservationPeriod: 1 << 30, MaxUnitBytes: 1 << 16})
+			r := core.NewRunner(db, policy)
+			if _, err := r.RunPhase("observe", 60, 7); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := policy.Reorganize(db.Store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, err := build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			policy := &cluster.Sequential{Objects: db.AllOIDs}
+			b.StartTimer()
+			if _, err := policy.Reorganize(db.Store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreAccess measures the page-fault path (miss) and the
+// resident path (hit) of the store.
+func BenchmarkStoreAccess(b *testing.B) {
+	s, err := store.Open(store.Config{PageSize: 4096, BufferPages: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oids []store.OID
+	for i := 0; i < 2000; i++ {
+		oid, err := s.Create(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.Access(oids[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		src := lewis.New(3)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Random far accesses against an 8-frame pool: ~always a miss.
+			if err := s.Access(oids[src.Intn(len(oids))]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+// Command ocb-experiments regenerates every table and figure of the OCB
+// paper's evaluation (Section 4), plus the ablations catalogued in
+// DESIGN.md.
+//
+// Usage:
+//
+//	ocb-experiments [-quick] [-csv] [-seed N] [-run list]
+//
+// -run selects a comma-separated subset of:
+//
+//	table1 table2 table3 fig4 table4 table5 genericity types
+//	policies buffer clients reverse dstc-sens oo1 hypermodel oo7 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ocb/internal/exp"
+	"ocb/internal/report"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(exp.Config) (*report.Table, error)
+}{
+	{"table1", "OCB database parameters (paper Table 1)", exp.Table1},
+	{"table2", "OCB workload parameters (paper Table 2)", exp.Table2},
+	{"table3", "OCB parameters approximating DSTC-CluB (paper Table 3)", exp.Table3},
+	{"fig4", "database creation time vs size (paper Figure 4)", exp.Fig4},
+	{"table4", "DSTC via DSTC-CluB vs OCB (paper Table 4)", exp.Table4},
+	{"table5", "DSTC under the default mixed workload (paper Table 5)", exp.Table5},
+	{"genericity", "OO1 traversal shape from OCB parameters", exp.GenericityCheck},
+	{"types", "per-transaction-type metrics", exp.TypeBreakdown},
+	{"policies", "A1: clustering policy shoot-out", exp.Policies},
+	{"buffer", "A2: buffer size sweep", exp.BufferSweep},
+	{"clients", "A3: multi-client scaling", exp.MultiClient},
+	{"reverse", "A4: forward vs reversed traversals", exp.Reverse},
+	{"dstc-sens", "A5: DSTC parameter sensitivity", exp.DSTCSensitivity},
+	{"generic", "A6: fully generic workload (Section 5 extension)", exp.GenericWorkload},
+	{"rootskew", "A7: transaction-root distribution skew", exp.RootSkew},
+	{"sim", "A8: simulated 1992 testbed (queueing model)", exp.SimulatedTestbed},
+	{"oo1", "OO1 benchmark suite", exp.OO1Suite},
+	{"hypermodel", "HyperModel benchmark suite", exp.HyperModelSuite},
+	{"oo7", "OO7 benchmark suite", exp.OO7Suite},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down geometry (seconds instead of minutes)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := flag.Int64("seed", 0, "seed offset applied to every experiment")
+	run := flag.String("run", "all", "comma-separated experiment list (see -list)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+
+	ran := 0
+	for _, e := range experiments {
+		if !selected["all"] && !selected[e.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tb, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ocb-experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n", tb.Title)
+			if err := tb.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ocb-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ocb-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ocb-experiments: nothing selected by -run=%s (try -list)\n", *run)
+		os.Exit(2)
+	}
+}

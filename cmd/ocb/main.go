@@ -1,0 +1,236 @@
+// Command ocb runs one fully configured OCB benchmark end to end:
+// generate the parameterized database, optionally attach a clustering
+// policy, execute the cold/warm protocol, optionally reorganize between
+// phases, and print the paper's metrics (response time, accessed objects,
+// I/Os — globally and per transaction type).
+//
+// Every Table 1 / Table 2 parameter is a flag; distributions accept the
+// specs of lewis.ParseDistribution (uniform, constant[:k], roundrobin,
+// zipf[:s], normal, negexp[:m], refzone:z[:p]).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocb/internal/buffer"
+	"ocb/internal/cluster"
+	"ocb/internal/core"
+	"ocb/internal/dstc"
+	"ocb/internal/lewis"
+	"ocb/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ocb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p := core.DefaultParams()
+
+	preset := flag.String("preset", "default", "parameter preset: default | club | generic")
+	// Database parameters (Table 1).
+	nc := flag.Int("nc", 0, "NC: number of classes (0 keeps the preset)")
+	maxnref := flag.Int("maxnref", 0, "MAXNREF: references per class")
+	basesize := flag.Int("basesize", 0, "BASESIZE: instance base size (bytes)")
+	no := flag.Int("no", 0, "NO: total number of objects")
+	nreft := flag.Int("nreft", 0, "NREFT: number of reference types")
+	infclass := flag.Int("infclass", -1, "INFCLASS (-1 keeps the preset)")
+	supclass := flag.Int("supclass", 0, "SUPCLASS")
+	infref := flag.Int("infref", 0, "INFREF")
+	supref := flag.Int("supref", 0, "SUPREF")
+	dist1 := flag.String("dist1", "", "DIST1: reference type distribution")
+	dist2 := flag.String("dist2", "", "DIST2: class reference distribution")
+	dist3 := flag.String("dist3", "", "DIST3: object class distribution")
+	dist4 := flag.String("dist4", "", "DIST4: object reference distribution")
+	dist5 := flag.String("dist5", "", "RAND5: transaction root distribution")
+	// Workload parameters (Table 2).
+	setdepth := flag.Int("setdepth", -1, "SETDEPTH")
+	simdepth := flag.Int("simdepth", -1, "SIMDEPTH")
+	hiedepth := flag.Int("hiedepth", -1, "HIEDEPTH")
+	stodepth := flag.Int("stodepth", -1, "STODEPTH")
+	coldn := flag.Int("coldn", -1, "COLDN: cold-run transactions")
+	hotn := flag.Int("hotn", -1, "HOTN: warm-run transactions")
+	think := flag.Duration("think", -1, "THINK latency between transactions")
+	pset := flag.Float64("pset", -1, "PSET")
+	psimple := flag.Float64("psimple", -1, "PSIMPLE")
+	phier := flag.Float64("phier", -1, "PHIER")
+	pstoch := flag.Float64("pstoch", -1, "PSTOCH")
+	preverse := flag.Float64("preverse", -1, "probability of reversed transactions")
+	clients := flag.Int("clients", 0, "CLIENTN: concurrent clients")
+	// Testbed geometry.
+	pagesize := flag.Int("pagesize", 0, "disk page size (bytes)")
+	bufpages := flag.Int("buffer", 0, "buffer pool size (pages)")
+	policyName := flag.String("replacement", "", "page replacement policy: lru | fifo | clock")
+	seed := flag.Int64("seed", 0, "random seed (0 keeps the preset)")
+	// Clustering.
+	clust := flag.String("cluster", "none", "clustering policy: none | sequential | byclass | hot | greedy | dstc")
+	reorg := flag.Bool("reorganize", true, "reorganize between the cold and warm runs")
+
+	flag.Parse()
+
+	switch *preset {
+	case "default":
+	case "club":
+		p = core.CluBParams()
+	case "generic":
+		p = core.GenericParams()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+
+	setInt := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	setInt(&p.NC, *nc)
+	setInt(&p.MaxNRef, *maxnref)
+	setInt(&p.BaseSize, *basesize)
+	setInt(&p.NO, *no)
+	setInt(&p.NRefT, *nreft)
+	if *infclass >= 0 {
+		p.InfClass = *infclass
+	}
+	setInt(&p.SupClass, *supclass)
+	setInt(&p.InfRef, *infref)
+	setInt(&p.SupRef, *supref)
+	if *nc > 0 && *supclass == 0 {
+		p.SupClass = p.NC
+	}
+	if *no > 0 && *supref == 0 {
+		p.SupRef = p.NO
+	}
+	for _, d := range []struct {
+		spec string
+		dst  *lewis.Distribution
+	}{{*dist1, &p.Dist1}, {*dist2, &p.Dist2}, {*dist3, &p.Dist3}, {*dist4, &p.Dist4}, {*dist5, &p.Dist5}} {
+		if d.spec == "" {
+			continue
+		}
+		dist, err := lewis.ParseDistribution(d.spec)
+		if err != nil {
+			return err
+		}
+		*d.dst = dist
+	}
+	setIfSet := func(dst *int, v int) {
+		if v >= 0 {
+			*dst = v
+		}
+	}
+	setIfSet(&p.SetDepth, *setdepth)
+	setIfSet(&p.SimDepth, *simdepth)
+	setIfSet(&p.HieDepth, *hiedepth)
+	setIfSet(&p.StoDepth, *stodepth)
+	setIfSet(&p.ColdN, *coldn)
+	setIfSet(&p.HotN, *hotn)
+	if *think >= 0 {
+		p.Think = *think
+	}
+	setProb := func(dst *float64, v float64) {
+		if v >= 0 {
+			*dst = v
+		}
+	}
+	setProb(&p.PSet, *pset)
+	setProb(&p.PSimple, *psimple)
+	setProb(&p.PHier, *phier)
+	setProb(&p.PStoch, *pstoch)
+	setProb(&p.PReverse, *preverse)
+	setInt(&p.ClientN, *clients)
+	setInt(&p.PageSize, *pagesize)
+	setInt(&p.BufferPages, *bufpages)
+	if *policyName != "" {
+		pol, err := buffer.ParsePolicy(*policyName)
+		if err != nil {
+			return err
+		}
+		p.BufferPolicy = pol
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("generating database: NC=%d NO=%d seed=%d ...\n", p.NC, p.NO, p.Seed)
+	db, err := core.Generate(p)
+	if err != nil {
+		return err
+	}
+	st := db.Store.Stats()
+	fmt.Printf("generated in %s: %d objects on %d pages (%d-byte pages, %d-page buffer)\n\n",
+		report.Dur(db.GenTime), st.Objects, st.Pages, p.PageSize, p.BufferPages)
+
+	var policy cluster.Policy
+	switch *clust {
+	case "none", "":
+		policy = nil
+	case "sequential":
+		policy = &cluster.Sequential{Objects: db.AllOIDs}
+	case "byclass":
+		policy = &cluster.ByClass{Objects: db.AllOIDs, Label: db.ClassOf}
+	case "hot":
+		policy = cluster.NewHot()
+	case "greedy":
+		policy = cluster.NewGreedy(1 << 16)
+	case "dstc":
+		policy = dstc.New(dstc.Params{ObservationPeriod: 1 << 30, MaxUnitBytes: 1 << 16})
+	default:
+		return fmt.Errorf("unknown clustering policy %q", *clust)
+	}
+
+	r := core.NewRunner(db, policy)
+	cold, err := r.RunPhase("cold", p.ColdN, p.Seed+1)
+	if err != nil {
+		return err
+	}
+	printPhase(cold)
+
+	if policy != nil && *reorg {
+		start := time.Now()
+		rs, err := r.Reorganize()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reorganized with %s in %s: moved %d objects, %d pages read, %d written\n\n",
+			policy.Name(), report.Dur(time.Since(start)), rs.ObjectsMoved, rs.PagesRead, rs.PagesWritten)
+	}
+
+	warm, err := r.RunPhase("warm", p.HotN, p.Seed+2)
+	if err != nil {
+		return err
+	}
+	printPhase(warm)
+
+	final := db.Store.Stats()
+	fmt.Printf("totals: %d transaction I/Os, %d clustering I/Os, %d objects accessed, hit ratio %.2f\n",
+		final.Disk.TransactionIOs(), final.Disk.ClusteringIOs(),
+		final.ObjectsAccessed, final.Pool.HitRatio())
+	return nil
+}
+
+func printPhase(m *core.PhaseMetrics) {
+	t := report.New(fmt.Sprintf("%s run — %d transactions in %s (mean %.1f I/Os per tx)",
+		m.Name, m.Transactions, report.Dur(m.Duration), m.MeanIOsPerTx()),
+		"Type", "Count", "Mean response (µs)", "P95 (µs)", "Mean objects", "Mean I/Os")
+	for typ := core.TxType(0); typ < core.NumTxTypes; typ++ {
+		tm := m.PerType[typ]
+		if tm.Count == 0 {
+			continue
+		}
+		t.AddRow(typ.String(), report.I64(tm.Count), report.F1(tm.Response.Mean()),
+			report.F1(tm.ResponseQ.P95()), report.F1(tm.Objects.Mean()), report.F1(tm.IOs.Mean()))
+	}
+	t.AddRow("all", report.I64(m.Transactions), report.F1(m.Global.Response.Mean()),
+		report.F1(m.Global.ResponseQ.P95()), report.F1(m.Global.Objects.Mean()),
+		report.F1(m.Global.IOs.Mean()))
+	_ = t.Render(os.Stdout)
+}

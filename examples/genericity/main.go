@@ -1,0 +1,86 @@
+// Genericity demonstrates OCB's headline design claim (Section 3.1): its
+// generic parameterized database can be tuned to mimic other benchmarks'
+// databases. Here OCB impersonates DSTC-CluB / OO1 via the paper's Table 3
+// parameters, and the OO1 signature falls out: a depth-7 simple traversal
+// visits exactly 3280 objects with fan-out 3, just like OO1's part tree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ocb/internal/core"
+	"ocb/internal/lewis"
+	"ocb/internal/oo1"
+	"ocb/internal/store"
+)
+
+func main() {
+	// The real OO1 benchmark, as the reference point.
+	op := oo1.DefaultParams()
+	op.NumParts = 4000
+	op.RefZone = 40
+	op.BufferPages = 64
+	odb, err := oo1.Generate(op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	otr, err := odb.Traversal(nil, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OO1 traversal:            %4d parts visited (depth 7, fan-out 3)\n", otr.Objects)
+
+	// OCB parameterized per Table 3 to approximate CluB's OO1 database.
+	// Table 3 pins NO=20000; shrinking it for the example means the
+	// reference zone (1% of the database) must shrink with it.
+	p := core.CluBParams()
+	p.NO = 8000
+	p.SupRef = 8000
+	p.Dist4 = lewis.RefZone{Zone: p.NO / 100, PLocal: 0.9}
+	p.BufferPages = 64
+	db, err := core.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A class-1 root has all three references live.
+	var root store.OID
+	for i := 1; i <= p.NO; i++ {
+		if c, _ := db.ClassOf(store.OID(i)); c == 1 {
+			root = store.OID(i)
+			break
+		}
+	}
+	ex := core.NewExecutor(db, nil, nil)
+	res, err := ex.Exec(core.Transaction{Type: core.SimpleTraversal, Root: root, Depth: p.SimDepth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OCB (Table 3 parameters): %4d objects visited\n", res.ObjectsAccessed)
+	if res.ObjectsAccessed == otr.Objects {
+		fmt.Println("\nOCB reproduces OO1's traversal shape exactly — properly customized,")
+		fmt.Println("the generic benchmark impersonates the specialized one (paper §4.3).")
+	}
+
+	// And the locality structure matches too: most references stay within
+	// the reference zone of the referencing object.
+	local, total := 0, 0
+	for i := 1; i <= p.NO; i++ {
+		obj := db.Objects[i]
+		for _, r := range obj.ORef {
+			if r == store.NilOID {
+				continue
+			}
+			total++
+			d := int(r) - i
+			if d < 0 {
+				d = -d
+			}
+			if d <= 2*p.NO/100 {
+				local++
+			}
+		}
+	}
+	fmt.Printf("\nreference locality: %.0f%% of OCB references fall near their owner\n",
+		100*float64(local)/float64(total))
+}

@@ -1,0 +1,130 @@
+package club
+
+import (
+	"testing"
+
+	"ocb/internal/cluster"
+	"ocb/internal/dstc"
+	"ocb/internal/oo1"
+)
+
+// smallParams returns a scaled-down CluB geometry that preserves the
+// regime the gain depends on: reference windows spanning several pages
+// (dilution) and a buffer smaller than a traversal footprint (thrash).
+func smallParams() Params {
+	p := DefaultParams()
+	p.OO1.NumParts = 8000
+	p.OO1.RefZone = 160
+	p.OO1.TraversalDepth = 5
+	p.OO1.BufferPages = 64
+	p.Roots = 8
+	p.Repeats = 3
+	return p
+}
+
+// clubDSTC returns the DSTC tuning for stereotyped workloads: one
+// observation period spanning the whole observation phase, clustering
+// units up to 16 pages.
+func clubDSTC() *dstc.DSTC {
+	return dstc.New(dstc.Params{
+		ObservationPeriod: 1 << 30,
+		Tfa:               2,
+		Tfc:               2,
+		MaxUnitBytes:      1 << 16,
+	})
+}
+
+// TestDSTCGain is the miniature Table 4: a recurring single-transaction
+// traversal workload must recluster very well (the paper reports gain 13.2
+// on Texas; the shape — a clearly large gain — is asserted here).
+func TestDSTCGain(t *testing.T) {
+	res, err := Run(smallParams(), clubDSTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain < 2 {
+		t.Fatalf("CluB gain = %.2f (%.1f -> %.1f I/Os), want >= 2",
+			res.Gain, res.IOsBefore, res.IOsAfter)
+	}
+	if res.ClusteringIOs == 0 {
+		t.Fatal("reorganization charged no clustering overhead")
+	}
+	if res.Reloc.ObjectsMoved == 0 {
+		t.Fatal("nothing moved")
+	}
+}
+
+func TestNoPolicyNoGain(t *testing.T) {
+	res, err := Run(smallParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same placement and same roots on both sides: identical I/Os.
+	if res.IOsBefore != res.IOsAfter {
+		t.Fatalf("placement unchanged but I/Os moved: %v -> %v", res.IOsBefore, res.IOsAfter)
+	}
+	if res.ClusteringIOs != 0 {
+		t.Fatal("no policy but clustering I/Os charged")
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	res, err := Run(smallParams(), cluster.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsBefore != res.IOsAfter || res.Gain != 1 {
+		t.Fatalf("None policy changed I/Os: %+v", res)
+	}
+}
+
+func TestRunOnReusesDatabase(t *testing.T) {
+	p := smallParams()
+	db, err := oo1.Generate(p.OO1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunOn(db, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOn(db, p, clubDSTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same roots replay: the DSTC run must start from the same before
+	// figure the measurement run saw.
+	if a.IOsBefore != b.IOsBefore {
+		t.Fatalf("before I/Os differ across RunOn calls: %v vs %v", a.IOsBefore, b.IOsBefore)
+	}
+	if b.Gain <= 1 {
+		t.Fatalf("gain = %v", b.Gain)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := smallParams()
+	p.Roots = 0
+	p.Repeats = 0
+	res, err := Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultCheckCatchesInconsistency(t *testing.T) {
+	r := &Result{IOsBefore: 10, IOsAfter: 5, Gain: 3}
+	if err := r.Check(); err == nil {
+		t.Fatal("inconsistent gain accepted")
+	}
+	r2 := &Result{IOsBefore: -1}
+	if err := r2.Check(); err == nil {
+		t.Fatal("negative I/Os accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"sort"
+
+	"ocb/internal/store"
+)
+
+// Greedy is a usage-driven graph-partitioning policy: it accumulates
+// crossing counts on undirected object pairs and, at reorganization time,
+// greedily merges the heaviest edges into byte-bounded clusters (Kruskal
+// with a capacity constraint), in the spirit of the clustering baselines of
+// Tsangaris & Naughton (SIGMOD 1992).
+//
+// Greedy is the natural "strong but simple" comparison point for DSTC: it
+// uses the same observations, but keeps the full weighted graph instead of
+// DSTC's thresholded, aged matrices, and rebuilds placement from scratch.
+type Greedy struct {
+	// MaxClusterBytes bounds a cluster's total object bytes; 0 means the
+	// store's page size (clusters then map 1:1 onto pages).
+	MaxClusterBytes int
+	// MinWeight drops edges observed fewer than this many times; 0 keeps
+	// every edge.
+	MinWeight float64
+
+	weights map[edge]float64
+}
+
+type edge struct{ a, b store.OID }
+
+func normEdge(x, y store.OID) edge {
+	if x > y {
+		x, y = y, x
+	}
+	return edge{x, y}
+}
+
+// NewGreedy returns a Greedy policy with the given cluster capacity.
+func NewGreedy(maxClusterBytes int) *Greedy {
+	return &Greedy{
+		MaxClusterBytes: maxClusterBytes,
+		weights:         make(map[edge]float64),
+	}
+}
+
+// Name implements Policy.
+func (*Greedy) Name() string { return "greedy" }
+
+// ObserveLink implements Policy.
+func (g *Greedy) ObserveLink(src, dst store.OID) {
+	if src == store.NilOID || dst == store.NilOID || src == dst {
+		return
+	}
+	if g.weights == nil {
+		g.weights = make(map[edge]float64)
+	}
+	g.weights[normEdge(src, dst)]++
+}
+
+// ObserveRoot implements Policy.
+func (*Greedy) ObserveRoot(store.OID) {}
+
+// EndTransaction implements Policy.
+func (*Greedy) EndTransaction() {}
+
+// Reset implements Policy.
+func (g *Greedy) Reset() { g.weights = make(map[edge]float64) }
+
+// NumEdges returns the number of distinct observed pairs.
+func (g *Greedy) NumEdges() int { return len(g.weights) }
+
+// Reorganize implements Policy: capacity-bounded greedy edge merging.
+func (g *Greedy) Reorganize(st *store.Store) (store.RelocStats, error) {
+	if len(g.weights) == 0 {
+		return store.RelocStats{}, nil
+	}
+	capBytes := g.MaxClusterBytes
+	if capBytes <= 0 {
+		capBytes = st.PageSize()
+	}
+
+	type wedge struct {
+		e edge
+		w float64
+	}
+	edges := make([]wedge, 0, len(g.weights))
+	for e, w := range g.weights {
+		if w < g.MinWeight {
+			continue
+		}
+		edges = append(edges, wedge{e, w})
+	}
+	// Heaviest first; ties broken by OID for determinism.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].e.a != edges[j].e.a {
+			return edges[i].e.a < edges[j].e.a
+		}
+		return edges[i].e.b < edges[j].e.b
+	})
+
+	uf := newUnionFind()
+	sizeOf := func(oid store.OID) int {
+		sz, ok := st.SizeOf(oid)
+		if !ok {
+			return 0
+		}
+		return sz
+	}
+	for _, we := range edges {
+		if sizeOf(we.e.a) == 0 || sizeOf(we.e.b) == 0 {
+			continue // object no longer exists
+		}
+		uf.add(we.e.a, sizeOf(we.e.a))
+		uf.add(we.e.b, sizeOf(we.e.b))
+		uf.unionBounded(we.e.a, we.e.b, capBytes)
+	}
+
+	// Emit clusters; objects within a cluster ordered by the heavy-edge
+	// sweep (first touch wins), clusters ordered by accumulated weight.
+	clusterOf := make(map[store.OID]int)
+	var clusters [][]store.OID
+	weightOf := make([]float64, 0)
+	rootIndex := make(map[store.OID]int)
+	for _, we := range edges {
+		ra, oka := uf.find(we.e.a)
+		if !oka {
+			continue
+		}
+		idx, ok := rootIndex[ra]
+		if !ok {
+			idx = len(clusters)
+			rootIndex[ra] = idx
+			clusters = append(clusters, nil)
+			weightOf = append(weightOf, 0)
+		}
+		weightOf[idx] += we.w
+		for _, oid := range []store.OID{we.e.a, we.e.b} {
+			r, _ := uf.find(oid)
+			if r != ra {
+				continue // edge straddles clusters (capacity split)
+			}
+			if _, in := clusterOf[oid]; !in {
+				clusterOf[oid] = idx
+				clusters[idx] = append(clusters[idx], oid)
+			}
+		}
+	}
+
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if weightOf[order[i]] != weightOf[order[j]] {
+			return weightOf[order[i]] > weightOf[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	layout := make([][]store.OID, 0, len(clusters))
+	for _, i := range order {
+		if len(clusters[i]) > 1 { // singleton clusters gain nothing
+			layout = append(layout, clusters[i])
+		}
+	}
+	return st.Relocate(layout)
+}
+
+// unionFind is a size-bounded union-find over OIDs.
+type unionFind struct {
+	parent map[store.OID]store.OID
+	bytes  map[store.OID]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{
+		parent: make(map[store.OID]store.OID),
+		bytes:  make(map[store.OID]int),
+	}
+}
+
+func (u *unionFind) add(x store.OID, size int) {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+		u.bytes[x] = size
+	}
+}
+
+func (u *unionFind) find(x store.OID) (store.OID, bool) {
+	p, ok := u.parent[x]
+	if !ok {
+		return 0, false
+	}
+	if p == x {
+		return x, true
+	}
+	r, _ := u.find(p)
+	u.parent[x] = r
+	return r, true
+}
+
+// unionBounded merges the two sets only if their combined size fits the
+// capacity; it reports whether a merge happened.
+func (u *unionFind) unionBounded(a, b store.OID, capBytes int) bool {
+	ra, _ := u.find(a)
+	rb, _ := u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.bytes[ra]+u.bytes[rb] > capBytes {
+		return false
+	}
+	u.parent[rb] = ra
+	u.bytes[ra] += u.bytes[rb]
+	delete(u.bytes, rb)
+	return true
+}

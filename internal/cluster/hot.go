@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sort"
+
+	"ocb/internal/store"
+)
+
+// Hot is a frequency-based placement policy: it counts object accesses
+// (roots and link targets alike) and, at reorganization time, packs
+// objects in decreasing access-frequency order. It ignores co-access
+// structure entirely — the classic "temperature" heuristic — which makes
+// it the natural foil for structure-aware policies like DSTC: on hot-set
+// workloads it densifies the cache's content; on traversal workloads it
+// destroys chain locality.
+type Hot struct {
+	// MinCount drops objects observed fewer than this many times; 0
+	// keeps everything observed.
+	MinCount float64
+
+	counts map[store.OID]float64
+}
+
+// NewHot returns an empty Hot policy.
+func NewHot() *Hot {
+	return &Hot{counts: make(map[store.OID]float64)}
+}
+
+// Name implements Policy.
+func (*Hot) Name() string { return "hot" }
+
+// ObserveLink implements Policy.
+func (h *Hot) ObserveLink(_, dst store.OID) { h.observe(dst) }
+
+// ObserveRoot implements Policy.
+func (h *Hot) ObserveRoot(root store.OID) { h.observe(root) }
+
+func (h *Hot) observe(oid store.OID) {
+	if oid == store.NilOID {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[store.OID]float64)
+	}
+	h.counts[oid]++
+}
+
+// EndTransaction implements Policy.
+func (*Hot) EndTransaction() {}
+
+// Reset implements Policy.
+func (h *Hot) Reset() { h.counts = make(map[store.OID]float64) }
+
+// NumObserved returns the number of distinct objects seen.
+func (h *Hot) NumObserved() int { return len(h.counts) }
+
+// Reorganize implements Policy: one placement run ordered by decreasing
+// temperature.
+func (h *Hot) Reorganize(st *store.Store) (store.RelocStats, error) {
+	if len(h.counts) == 0 {
+		return store.RelocStats{}, nil
+	}
+	type hotObj struct {
+		oid   store.OID
+		count float64
+	}
+	objs := make([]hotObj, 0, len(h.counts))
+	for oid, c := range h.counts {
+		if c < h.MinCount {
+			continue
+		}
+		objs = append(objs, hotObj{oid, c})
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].count != objs[j].count {
+			return objs[i].count > objs[j].count
+		}
+		return objs[i].oid < objs[j].oid
+	})
+	run := make([]store.OID, len(objs))
+	for i, o := range objs {
+		run[i] = o.oid
+	}
+	return st.Relocate([][]store.OID{run})
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"ocb/internal/store"
+)
+
+func TestHotPacksByFrequency(t *testing.T) {
+	s, oids := buildStore(t, 30, 50)
+	h := NewHot()
+	// Three hot objects scattered across pages; everything else cold.
+	for i := 0; i < 10; i++ {
+		h.ObserveRoot(oids[2])
+		h.ObserveLink(oids[2], oids[17])
+		h.ObserveLink(oids[17], oids[28])
+	}
+	h.ObserveRoot(oids[5]) // lukewarm
+	if _, err := h.Reorganize(s); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.PageOf(oids[2])
+	p17, _ := s.PageOf(oids[17])
+	p28, _ := s.PageOf(oids[28])
+	if p2 != p17 || p17 != p28 {
+		t.Fatalf("hot objects not co-located: %d %d %d", p2, p17, p28)
+	}
+	if h.NumObserved() != 4 {
+		t.Fatalf("observed = %d", h.NumObserved())
+	}
+}
+
+func TestHotMinCountFilters(t *testing.T) {
+	s, oids := buildStore(t, 10, 50)
+	h := NewHot()
+	h.MinCount = 5
+	h.ObserveRoot(oids[1])
+	h.ObserveRoot(oids[1])
+	rs, err := h.Reorganize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ObjectsMoved != 0 {
+		t.Fatal("cold object moved")
+	}
+}
+
+func TestHotIgnoresNil(t *testing.T) {
+	h := NewHot()
+	h.ObserveRoot(store.NilOID)
+	h.ObserveLink(1, store.NilOID)
+	if h.NumObserved() != 0 {
+		t.Fatalf("observed = %d", h.NumObserved())
+	}
+}
+
+func TestHotResetAndEmpty(t *testing.T) {
+	s, oids := buildStore(t, 4, 50)
+	h := NewHot()
+	h.ObserveRoot(oids[0])
+	h.Reset()
+	rs, err := h.Reorganize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ObjectsMoved != 0 {
+		t.Fatal("reset policy moved objects")
+	}
+	h.EndTransaction() // no-op, must not panic
+	if h.Name() != "hot" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestHotDeterministicOrder(t *testing.T) {
+	run := func() map[store.OID]uint32 {
+		s, oids := buildStore(t, 12, 50)
+		h := NewHot()
+		for i, oid := range oids {
+			for k := 0; k <= i%4; k++ {
+				h.ObserveRoot(oid)
+			}
+		}
+		if _, err := h.Reorganize(s); err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[store.OID]uint32)
+		for _, oid := range oids {
+			pg, _ := s.PageOf(oid)
+			m[oid] = uint32(pg)
+		}
+		return m
+	}
+	a, b := run(), run()
+	for oid := range a {
+		if a[oid] != b[oid] {
+			t.Fatalf("nondeterministic placement for %d", oid)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"sync"
+
+	"ocb/internal/store"
+)
+
+// Synchronize wraps a policy so its observation callbacks can be invoked
+// from multiple benchmark clients concurrently (OCB's multi-user mode).
+// Reorganize and Reset also serialize behind the same mutex.
+func Synchronize(p Policy) Policy {
+	if p == nil {
+		return nil
+	}
+	if _, ok := p.(*synchronized); ok {
+		return p
+	}
+	return &synchronized{inner: p}
+}
+
+type synchronized struct {
+	mu    sync.Mutex
+	inner Policy
+}
+
+// Name implements Policy.
+func (s *synchronized) Name() string { return s.inner.Name() }
+
+// ObserveLink implements Policy.
+func (s *synchronized) ObserveLink(src, dst store.OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.ObserveLink(src, dst)
+}
+
+// ObserveRoot implements Policy.
+func (s *synchronized) ObserveRoot(root store.OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.ObserveRoot(root)
+}
+
+// EndTransaction implements Policy.
+func (s *synchronized) EndTransaction() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.EndTransaction()
+}
+
+// Reorganize implements Policy.
+func (s *synchronized) Reorganize(st *store.Store) (store.RelocStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Reorganize(st)
+}
+
+// Reset implements Policy.
+func (s *synchronized) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Reset()
+}
+
+// Unwrap returns the wrapped policy (for stats inspection).
+func (s *synchronized) Unwrap() Policy { return s.inner }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ocb/internal/disk"
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// These tests inject disk faults through the disk.FailureHook and verify
+// that every layer — store, executor, runner — propagates the error
+// instead of silently mis-counting.
+
+var errInjected = errors.New("injected disk fault")
+
+// faultAfter returns a hook failing every I/O after the first n.
+func faultAfter(n int) func(disk.Op, disk.PageID) error {
+	count := 0
+	return func(disk.Op, disk.PageID) error {
+		count++
+		if count > n {
+			return errInjected
+		}
+		return nil
+	}
+}
+
+func TestTraversalPropagatesReadFault(t *testing.T) {
+	p := smallParams()
+	p.BufferPages = 4 // force faults during the traversal
+	db := MustGenerate(p)
+	db.Store.DropCache()
+	db.Store.Disk().FailureHook = faultAfter(3)
+
+	ex := NewExecutor(db, nil, lewis.New(1))
+	_, err := ex.Exec(Transaction{Type: SimpleTraversal, Root: 1, Depth: 3})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("fault not propagated: %v", err)
+	}
+}
+
+func TestRunnerPropagatesFault(t *testing.T) {
+	p := smallParams()
+	p.BufferPages = 4
+	db := MustGenerate(p)
+	db.Store.DropCache()
+	db.Store.Disk().FailureHook = faultAfter(5)
+
+	r := NewRunner(db, nil)
+	_, err := r.RunPhase("faulty", 50, 1)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("runner swallowed the fault: %v", err)
+	}
+	// The error message identifies the failing transaction.
+	if err != nil && !strings.Contains(err.Error(), "transaction") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestCommitPropagatesWriteFault(t *testing.T) {
+	p := smallParams()
+	db := MustGenerate(p)
+	db.Store.Disk().FailureHook = func(op disk.Op, _ disk.PageID) error {
+		if op == disk.OpWrite {
+			return errInjected
+		}
+		return nil
+	}
+	ex := NewExecutor(db, nil, lewis.New(1))
+	_, err := ex.Exec(Transaction{Type: UpdateOp, Root: 1})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("commit fault not propagated: %v", err)
+	}
+}
+
+func TestInsertPropagatesFault(t *testing.T) {
+	p := smallParams()
+	p.BufferPages = 2
+	db := MustGenerate(p)
+	db.Store.DropCache()
+	db.Store.Disk().FailureHook = func(disk.Op, disk.PageID) error { return errInjected }
+	ex := NewExecutor(db, nil, lewis.New(1))
+	if _, err := ex.Exec(Transaction{Type: InsertOp}); !errors.Is(err, errInjected) {
+		t.Fatalf("insert fault not propagated: %v", err)
+	}
+}
+
+func TestRelocatePropagatesFault(t *testing.T) {
+	p := smallParams()
+	db := MustGenerate(p)
+	cluster := db.AllOIDs()[:6]
+	db.Store.Disk().FailureHook = faultAfter(0)
+	_, err := db.Store.Relocate([][]store.OID{cluster})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("relocation fault not propagated: %v", err)
+	}
+	// After clearing the fault the store must still serve reads.
+	db.Store.Disk().FailureHook = nil
+	if err := db.Store.Access(cluster[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveUnderWriteFault(t *testing.T) {
+	p := smallParams()
+	db := MustGenerate(p)
+	// Make a page dirty so Save's flush must write.
+	if err := db.Store.Update(1); err != nil {
+		t.Fatal(err)
+	}
+	db.Store.Disk().FailureHook = func(op disk.Op, _ disk.PageID) error {
+		if op == disk.OpWrite {
+			return errInjected
+		}
+		return nil
+	}
+	var sink strings.Builder
+	if err := db.Save(&sink); !errors.Is(err, errInjected) {
+		t.Fatalf("save fault not propagated: %v", err)
+	}
+}

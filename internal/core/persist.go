@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// persisted is the on-wire form of a generated database: the parameters
+// (including the distribution values, registered with gob below), the
+// schema, the object graph, and the store image carrying placement.
+// Classes and Objects are stored without their nil zeroth entries (gob
+// rejects nil pointers inside slices).
+type persisted struct {
+	Params Params
+	// Classes is Schema.Classes without the nil zeroth entry.
+	Classes []*Class
+	// Objects holds only live objects (deleted slots are nil in memory
+	// and gob rejects nil pointers inside slices); MaxOID restores the
+	// slice extent.
+	Objects []*Object
+	MaxOID  int
+	Image   *store.Image
+}
+
+func init() {
+	// The Params distributions are interface-typed; gob needs the concrete
+	// types announced once.
+	gob.Register(lewis.Uniform{})
+	gob.Register(lewis.Constant{})
+	gob.Register(&lewis.RoundRobin{})
+	gob.Register(&lewis.Zipf{})
+	gob.Register(lewis.Normal{})
+	gob.Register(lewis.NegExp{})
+	gob.Register(lewis.RefZone{})
+	gob.Register(lewis.SelfSimilar{})
+}
+
+// Save serializes the database — schema, object graph and physical
+// placement — so an expensive generation can be reused across benchmark
+// processes. Dirty pages are flushed as part of imaging.
+func (db *Database) Save(w io.Writer) error {
+	img, err := db.Store.Image()
+	if err != nil {
+		return fmt.Errorf("ocb: imaging store: %w", err)
+	}
+	live := make([]*Object, 0, db.NumLive())
+	for i := 1; i < len(db.Objects); i++ {
+		if db.Objects[i] != nil {
+			live = append(live, db.Objects[i])
+		}
+	}
+	enc := gob.NewEncoder(w)
+	return enc.Encode(persisted{
+		Params:  db.P,
+		Classes: db.Schema.Classes[1:],
+		Objects: live,
+		MaxOID:  len(db.Objects) - 1,
+		Image:   img,
+	})
+}
+
+// Load rebuilds a database saved with Save. The restored store starts
+// with a cold cache and zeroed statistics; the object graph, schema and
+// placement are bit-identical to the saved ones.
+func Load(r io.Reader) (*Database, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ocb: decoding database: %w", err)
+	}
+	st, err := store.FromImage(p.Image)
+	if err != nil {
+		return nil, fmt.Errorf("ocb: restoring store: %w", err)
+	}
+	objects := make([]*Object, p.MaxOID+1)
+	for _, o := range p.Objects {
+		if o == nil || int(o.OID) >= len(objects) {
+			return nil, fmt.Errorf("ocb: corrupt object table in saved database")
+		}
+		objects[o.OID] = o
+	}
+	db := &Database{
+		P:       p.Params,
+		Schema:  &Schema{Classes: append([]*Class{nil}, p.Classes...)},
+		Objects: objects,
+		Store:   st,
+	}
+	db.initLive()
+	if err := CheckDatabase(db); err != nil {
+		return nil, fmt.Errorf("ocb: loaded database failed integrity check: %w", err)
+	}
+	return db, nil
+}

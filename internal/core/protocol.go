@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ocb/internal/cluster"
+	"ocb/internal/disk"
+	"ocb/internal/lewis"
+	"ocb/internal/stats"
+	"ocb/internal/store"
+)
+
+// TypeMetrics aggregates the per-transaction-type measurements OCB
+// reports: response time, accessed objects, and I/Os.
+type TypeMetrics struct {
+	Count    int64
+	Response stats.Welford // microseconds
+	// ResponseQ retains response-time observations for quantiles
+	// (exact up to the sample cap, reservoir beyond).
+	ResponseQ stats.Sample
+	Objects   stats.Welford
+	IOs       stats.Welford
+}
+
+// merge folds o into m.
+func (m *TypeMetrics) merge(o *TypeMetrics) {
+	m.Count += o.Count
+	m.Response.Merge(&o.Response)
+	m.ResponseQ.Merge(&o.ResponseQ)
+	m.Objects.Merge(&o.Objects)
+	m.IOs.Merge(&o.IOs)
+}
+
+// add folds one transaction result in.
+func (m *TypeMetrics) add(res TxResult) {
+	m.Count++
+	m.Response.Add(float64(res.Duration.Microseconds()))
+	m.ResponseQ.Add(float64(res.Duration.Microseconds()))
+	m.Objects.Add(float64(res.ObjectsAccessed))
+	m.IOs.Add(float64(res.IOs))
+}
+
+// PhaseMetrics aggregates one protocol phase (cold or warm run), globally
+// and per transaction type, plus the disk-counter delta of the phase.
+type PhaseMetrics struct {
+	Name         string
+	Transactions int64
+	Duration     time.Duration
+	Global       TypeMetrics
+	PerType      [NumTxTypes]TypeMetrics
+	DiskDelta    disk.Stats
+}
+
+// MeanIOsPerTx is the phase's headline number: mean transaction I/Os per
+// transaction, computed from exact global disk counters (not the
+// per-transaction attribution, which is approximate under concurrency).
+func (m *PhaseMetrics) MeanIOsPerTx() float64 {
+	if m.Transactions == 0 {
+		return 0
+	}
+	return float64(m.DiskDelta.TransactionIOs()) / float64(m.Transactions)
+}
+
+// merge folds another phase (a client's share) into m.
+func (m *PhaseMetrics) merge(o *PhaseMetrics) {
+	m.Transactions += o.Transactions
+	m.Global.merge(&o.Global)
+	for t := range m.PerType {
+		m.PerType[t].merge(&o.PerType[t])
+	}
+}
+
+// Result is a full protocol execution: cold run then warm run.
+type Result struct {
+	Cold, Warm *PhaseMetrics
+	PolicyName string
+	Store      store.Stats
+}
+
+// Runner executes the OCB protocol of §3.3 against a database: each of
+// CLIENTN clients performs a cold run of COLDN transactions whose types are
+// drawn according to the predefined probabilities, then a warm run of HOTN
+// transactions, with THINK latency between transactions.
+type Runner struct {
+	DB *Database
+	// Policy observes the workload; nil for plain measurement.
+	Policy cluster.Policy
+}
+
+// NewRunner returns a runner; the policy is synchronized automatically
+// when the parameter set asks for multiple clients.
+func NewRunner(db *Database, policy cluster.Policy) *Runner {
+	if db.P.ClientN > 1 && policy != nil {
+		policy = cluster.Synchronize(policy)
+	}
+	return &Runner{DB: db, Policy: policy}
+}
+
+// Run executes the full protocol: cold run (ColdN) then warm run (HotN).
+func (r *Runner) Run() (*Result, error) {
+	cold, err := r.RunPhase("cold", r.DB.P.ColdN, r.DB.P.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := r.RunPhase("warm", r.DB.P.HotN, r.DB.P.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cold: cold, Warm: warm, Store: r.DB.Store.Stats()}
+	if r.Policy != nil {
+		res.PolicyName = r.Policy.Name()
+	}
+	return res, nil
+}
+
+// RunPhase executes one phase of txPerClient transactions per client,
+// deterministically in seed. Phases with equal seeds replay identical
+// transaction streams — the experiments use this to compare placements
+// before and after reclustering on the same workload.
+func (r *Runner) RunPhase(name string, txPerClient int, seed int64) (*PhaseMetrics, error) {
+	p := r.DB.P
+	before := r.DB.Store.Stats().Disk
+	start := time.Now()
+
+	results := make([]*PhaseMetrics, p.ClientN)
+	errs := make([]error, p.ClientN)
+	var wg sync.WaitGroup
+	for c := 0; c < p.ClientN; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c], errs[c] = r.runClient(txPerClient, seed+int64(c)*104729)
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := &PhaseMetrics{Name: name}
+	for _, cm := range results {
+		m.merge(cm)
+	}
+	m.Duration = time.Since(start)
+	m.DiskDelta = r.DB.Store.Stats().Disk.Sub(before)
+	return m, nil
+}
+
+// runClient is one client's share of a phase.
+func (r *Runner) runClient(n int, seed int64) (*PhaseMetrics, error) {
+	p := r.DB.P
+	src := lewis.New(seed)
+	ex := NewExecutor(r.DB, r.Policy, src)
+	m := &PhaseMetrics{}
+	for i := 0; i < n; i++ {
+		tx := SampleTransaction(p, src)
+		res, err := ex.Exec(tx)
+		if err != nil {
+			return nil, fmt.Errorf("ocb: transaction %d (%v): %w", i, tx.Type, err)
+		}
+		m.Transactions++
+		m.Global.add(res)
+		m.PerType[tx.Type].add(res)
+		if p.Think > 0 {
+			time.Sleep(p.Think)
+		}
+	}
+	return m, nil
+}
+
+// SampleTransaction draws one transaction according to the workload
+// parameters: type by the PSET/PSIMPLE/PHIER/PSTOCH probabilities, root by
+// DIST5 (RAND5), depth by the type's depth parameter, hierarchy reference
+// type uniform over the NREFT types, and direction by PReverse.
+func SampleTransaction(p Params, src *lewis.Source) Transaction {
+	u := src.Float64()
+	var tx Transaction
+	cum := p.PSet
+	switch {
+	case u < cum:
+		tx.Type = SetAccess
+		tx.Depth = p.SetDepth
+	case u < cum+p.PSimple:
+		tx.Type = SimpleTraversal
+		tx.Depth = p.SimDepth
+	case u < cum+p.PSimple+p.PHier:
+		tx.Type = HierarchyTraversal
+		tx.Depth = p.HieDepth
+		tx.RefType = src.IntRange(1, p.NRefT)
+	case u < cum+p.PSimple+p.PHier+p.PStoch:
+		tx.Type = StochasticTraversal
+		tx.Depth = p.StoDepth
+	case u < cum+p.PSimple+p.PHier+p.PStoch+p.PUpdate:
+		tx.Type = UpdateOp
+	case u < cum+p.PSimple+p.PHier+p.PStoch+p.PUpdate+p.PInsert:
+		tx.Type = InsertOp
+	case u < cum+p.PSimple+p.PHier+p.PStoch+p.PUpdate+p.PInsert+p.PDelete:
+		tx.Type = DeleteOp
+	case u < cum+p.PSimple+p.PHier+p.PStoch+p.PUpdate+p.PInsert+p.PDelete+p.PScan:
+		tx.Type = ScanOp
+	default:
+		tx.Type = RangeOp
+	}
+	tx.Root = store.OID(p.Dist5.Draw(src, 1, p.NO, 0))
+	if p.PReverse > 0 && src.Bernoulli(p.PReverse) {
+		tx.Reverse = true
+	}
+	return tx
+}
+
+// Reorganize triggers the policy's physical reorganization (phase 5 runs
+// "when the system is idle"; the protocol calls it between measurement
+// phases) and returns its cost.
+func (r *Runner) Reorganize() (store.RelocStats, error) {
+	if r.Policy == nil {
+		return store.RelocStats{}, nil
+	}
+	return r.Policy.Reorganize(r.DB.Store)
+}

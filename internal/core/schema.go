@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// RefSlotBytes is the on-disk size of one reference slot (a 64-bit
+// persistent pointer, as in Texas's swizzled page format).
+const RefSlotBytes = 8
+
+// NilClass is the CRef value of a suppressed or NIL reference.
+const NilClass = 0
+
+// Class is one instantiation of OCB's CLASS metaclass (Fig. 1): a class is
+// entirely defined by its MAXNREF typed references and its BASESIZE.
+type Class struct {
+	// ID is the class number, 1..NC.
+	ID int
+	// MaxNRef is MAXNREF(ID): the number of reference slots of instances.
+	MaxNRef int
+	// BaseSize is BASESIZE(ID): the increment size used to compute
+	// InstanceSize when the inheritance graph is processed.
+	BaseSize int
+	// InstanceSize is the instance payload size in bytes after inheritance
+	// processing (the Filler array of Fig. 1).
+	InstanceSize int
+	// TRef[j] is the type of reference j (1..NREFT), j in 0..MaxNRef-1.
+	TRef []int
+	// CRef[j] is the class referenced by reference j; NilClass when the
+	// reference was suppressed by the consistency step or drawn NIL.
+	CRef []int
+	// Iterator lists every instance of the class, in creation order
+	// (the Iterator of the CLASS metaclass in Fig. 1).
+	Iterator []store.OID
+}
+
+// DiskSize returns the on-disk footprint of one instance: the Filler
+// payload plus the reference slots (the store adds its object header).
+func (c *Class) DiskSize() int { return c.InstanceSize + RefSlotBytes*c.MaxNRef }
+
+// Schema is the generated database schema: NC classes plus their
+// inter-class reference graph.
+type Schema struct {
+	// Classes is indexed by class id; Classes[0] is nil (NIL class).
+	Classes []*Class
+}
+
+// NC returns the number of classes.
+func (s *Schema) NC() int { return len(s.Classes) - 1 }
+
+// Class returns the class with the given id (nil for NilClass).
+func (s *Schema) Class(id int) *Class {
+	if id <= 0 || id >= len(s.Classes) {
+		return nil
+	}
+	return s.Classes[id]
+}
+
+// GenerateSchema runs the schema half of the database generation algorithm
+// (Fig. 2): class instantiation, inter-class reference selection, and the
+// consistency step that suppresses cycles from hierarchies that do not
+// allow them and propagates BASESIZE through the inheritance graph.
+func GenerateSchema(p Params, src *lewis.Source) (*Schema, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schema{Classes: make([]*Class, p.NC+1)}
+
+	// Step 1 — instantiation of the CLASS metaclass into NC classes:
+	// reference types drawn via DIST1, InstanceSize seeded with BASESIZE.
+	for i := 1; i <= p.NC; i++ {
+		n := p.MaxNRefOf(i)
+		c := &Class{
+			ID:           i,
+			MaxNRef:      n,
+			BaseSize:     p.BaseSizeOf(i),
+			InstanceSize: p.BaseSizeOf(i),
+			TRef:         make([]int, n),
+			CRef:         make([]int, n),
+		}
+		for j := 0; j < n; j++ {
+			c.TRef[j] = p.Dist1.Draw(src, 1, p.NRefT, i)
+		}
+		s.Classes[i] = c
+	}
+
+	// Step 2 — inter-class references drawn via DIST2 from the
+	// [INFCLASS, SUPCLASS] locality interval; 0 is a NIL reference.
+	for i := 1; i <= p.NC; i++ {
+		c := s.Classes[i]
+		for j := 0; j < c.MaxNRef; j++ {
+			c.CRef[j] = p.Dist2.Draw(src, p.InfClass, p.SupClass, i)
+		}
+	}
+
+	// Step 3 — graph consistency for hierarchies without cycles. Edges are
+	// processed in deterministic (class, slot) order; an edge of an acyclic
+	// type is suppressed (CRef = NULL) when adding it to the already
+	// accepted graph of its type would close a cycle — which covers both
+	// "Class(i) belongs to the graph" and "a cycle is detected" in Fig. 2.
+	for t := 1; t <= p.NumAcyclicTypes; t++ {
+		accepted := make([][]int, p.NC+1) // adjacency per class, this type only
+		for i := 1; i <= p.NC; i++ {
+			c := s.Classes[i]
+			for j := 0; j < c.MaxNRef; j++ {
+				if c.TRef[j] != t || c.CRef[j] == NilClass {
+					continue
+				}
+				target := c.CRef[j]
+				if target == i || reachable(accepted, target, i) {
+					c.CRef[j] = NilClass
+					continue
+				}
+				accepted[i] = append(accepted[i], target)
+			}
+		}
+	}
+
+	propagateInheritance(p, s)
+	return s, nil
+}
+
+// propagateInheritance runs Fig. 2's inheritance processing: an inheritance
+// reference i -> c declares c a subclass of i, so BASESIZE(i) is added to
+// the InstanceSize of every class of c's inheritance subgraph ("add
+// BASESIZE(i) to InstanceSize for each subclass"). The graph is acyclic
+// after the consistency step, and each browse visits each subclass once.
+func propagateInheritance(p Params, s *Schema) {
+	inhAdj := make([][]int, p.NC+1)
+	type edge struct{ from, to int }
+	var inhEdges []edge
+	for i := 1; i <= p.NC; i++ {
+		c := s.Classes[i]
+		for j := 0; j < c.MaxNRef; j++ {
+			if p.isInheritanceType(c.TRef[j]) && c.CRef[j] != NilClass {
+				inhAdj[i] = append(inhAdj[i], c.CRef[j])
+				inhEdges = append(inhEdges, edge{i, c.CRef[j]})
+			}
+		}
+	}
+	for _, e := range inhEdges {
+		seen := make(map[int]bool)
+		var browse func(int)
+		browse = func(d int) {
+			if seen[d] {
+				return
+			}
+			seen[d] = true
+			s.Classes[d].InstanceSize += s.Classes[e.from].BaseSize
+			for _, nxt := range inhAdj[d] {
+				browse(nxt)
+			}
+		}
+		browse(e.to)
+	}
+}
+
+// reachable reports whether dst is reachable from src in the adjacency
+// lists adj (DFS; adj is acyclic by construction).
+func reachable(adj [][]int, src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make(map[int]bool)
+	stack := []int{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == dst {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+// CheckSchema verifies the structural invariants the generation algorithm
+// promises: CRef targets in range, acyclicity of every hierarchy type, and
+// InstanceSize >= BASESIZE. Used by tests and the ocbgen tool.
+func CheckSchema(p Params, s *Schema) error {
+	if s.NC() != p.NC {
+		return fmt.Errorf("ocb: schema has %d classes, want %d", s.NC(), p.NC)
+	}
+	for i := 1; i <= p.NC; i++ {
+		c := s.Classes[i]
+		if c == nil {
+			return fmt.Errorf("ocb: class %d missing", i)
+		}
+		if len(c.TRef) != c.MaxNRef || len(c.CRef) != c.MaxNRef {
+			return fmt.Errorf("ocb: class %d reference arrays mis-sized", i)
+		}
+		if c.InstanceSize < c.BaseSize {
+			return fmt.Errorf("ocb: class %d InstanceSize %d < BASESIZE %d", i, c.InstanceSize, c.BaseSize)
+		}
+		for j := 0; j < c.MaxNRef; j++ {
+			if c.TRef[j] < 1 || c.TRef[j] > p.NRefT {
+				return fmt.Errorf("ocb: class %d ref %d has type %d", i, j, c.TRef[j])
+			}
+			if c.CRef[j] != NilClass && (c.CRef[j] < 1 || c.CRef[j] > p.NC) {
+				return fmt.Errorf("ocb: class %d ref %d targets class %d", i, j, c.CRef[j])
+			}
+		}
+	}
+	for t := 1; t <= p.NumAcyclicTypes; t++ {
+		adj := make([][]int, p.NC+1)
+		for i := 1; i <= p.NC; i++ {
+			c := s.Classes[i]
+			for j := 0; j < c.MaxNRef; j++ {
+				if c.TRef[j] == t && c.CRef[j] != NilClass {
+					adj[i] = append(adj[i], c.CRef[j])
+				}
+			}
+		}
+		if hasCycle(adj, p.NC) {
+			return fmt.Errorf("ocb: reference type %d graph has a cycle", t)
+		}
+	}
+	return nil
+}
+
+// hasCycle detects a directed cycle with the classic three-color DFS.
+func hasCycle(adj [][]int, n int) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n+1)
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		for _, v := range adj[u] {
+			switch color[v] {
+			case gray:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := 1; i <= n; i++ {
+		if color[i] == white && visit(i) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ocb/internal/lewis"
+)
+
+// smallParams returns fast-to-generate parameters for unit tests.
+func smallParams() Params {
+	p := DefaultParams()
+	p.NC = 10
+	p.SupClass = 10
+	p.NO = 500
+	p.SupRef = 500
+	p.BufferPages = 16
+	p.ColdN = 20
+	p.HotN = 50
+	return p
+}
+
+func TestGenerateSchemaShape(t *testing.T) {
+	p := smallParams()
+	s, err := GenerateSchema(p, lewis.New(p.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSchema(p, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.NC() != p.NC {
+		t.Fatalf("NC = %d", s.NC())
+	}
+	for i := 1; i <= p.NC; i++ {
+		c := s.Class(i)
+		if c.MaxNRef != p.MaxNRef || c.BaseSize != p.BaseSize {
+			t.Fatalf("class %d params wrong: %+v", i, c)
+		}
+		if c.DiskSize() != c.InstanceSize+RefSlotBytes*c.MaxNRef {
+			t.Fatalf("DiskSize inconsistent for class %d", i)
+		}
+	}
+	if s.Class(0) != nil || s.Class(p.NC+1) != nil {
+		t.Fatal("out-of-range Class() must be nil")
+	}
+}
+
+func TestSchemaDeterminism(t *testing.T) {
+	p := smallParams()
+	a, err := GenerateSchema(p, lewis.New(p.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSchema(p, lewis.New(p.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= p.NC; i++ {
+		ca, cb := a.Class(i), b.Class(i)
+		if ca.InstanceSize != cb.InstanceSize {
+			t.Fatalf("class %d InstanceSize differs: %d vs %d", i, ca.InstanceSize, cb.InstanceSize)
+		}
+		for j := 0; j < ca.MaxNRef; j++ {
+			if ca.TRef[j] != cb.TRef[j] || ca.CRef[j] != cb.CRef[j] {
+				t.Fatalf("class %d ref %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestSchemaAcyclicityProperty regenerates schemas under random seeds and
+// class counts and checks the invariants CheckSchema encodes — notably
+// that every hierarchy type stays acyclic after the consistency step.
+func TestSchemaAcyclicityProperty(t *testing.T) {
+	f := func(seed int64, nc uint8) bool {
+		p := smallParams()
+		p.NC = int(nc%30) + 1
+		p.SupClass = p.NC
+		p.Seed = seed
+		s, err := GenerateSchema(p, lewis.New(seed))
+		if err != nil {
+			return false
+		}
+		return CheckSchema(p, s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInheritancePropagation pins the InstanceSize computation on a
+// hand-built 3-class chain: 1 --inh--> 2 --inh--> 3 means 2 and 3 are
+// subclasses of 1, and 3 a subclass of 2, so sizes accumulate down the
+// chain: size(2) += BASE(1); size(3) += BASE(1) + BASE(2).
+func TestInheritancePropagation(t *testing.T) {
+	p := DefaultParams()
+	p.NC = 3
+	p.SupClass = 3
+	p.NO = 10
+	p.SupRef = 10
+	p.MaxNRef = 1
+	p.NRefT = 1
+	p.NumAcyclicTypes = 1
+	p.BaseSizePerClass = []int{0, 100, 10, 1}
+	// DIST1 constant -> type 1 (inheritance). DIST2 must build the chain
+	// 1->2, 2->3, 3->X(suppressed). A Constant offset of +1 relative to lo
+	// gives CRef = lo+1 = 2 for every class... we need i+1 per class, so
+	// use a RoundRobin starting at lo=1: draws 1, 2, 3 for classes 1,2,3 —
+	// giving 1->1 (suppressed self-loop), 2->2 (suppressed), 3->3
+	// (suppressed). Not the chain either. Easiest deterministic chain:
+	// generate, then verify by construction below instead.
+	s := &Schema{Classes: make([]*Class, 4)}
+	for i := 1; i <= 3; i++ {
+		s.Classes[i] = &Class{
+			ID: i, MaxNRef: 1, BaseSize: p.BaseSizeOf(i), InstanceSize: p.BaseSizeOf(i),
+			TRef: []int{1}, CRef: []int{0},
+		}
+	}
+	s.Classes[1].CRef[0] = 2
+	s.Classes[2].CRef[0] = 3
+	// Run only the inheritance propagation by replaying the algorithm on
+	// this fixed schema through a tiny helper: reuse GenerateSchema's rules
+	// by checking the real generator below, and verify this fixture by the
+	// documented formula.
+	propagateInheritance(p, s)
+	if got := s.Classes[1].InstanceSize; got != 100 {
+		t.Fatalf("class 1 size = %d, want 100 (no superclass)", got)
+	}
+	if got := s.Classes[2].InstanceSize; got != 110 {
+		t.Fatalf("class 2 size = %d, want 10+100", got)
+	}
+	if got := s.Classes[3].InstanceSize; got != 111 {
+		t.Fatalf("class 3 size = %d, want 1+100+10", got)
+	}
+}
+
+func TestNilClassReferences(t *testing.T) {
+	p := smallParams()
+	p.InfClass = 0 // NIL references possible
+	s, err := GenerateSchema(p, lewis.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSchema(p, s); err != nil {
+		t.Fatal(err)
+	}
+	nils := 0
+	for i := 1; i <= p.NC; i++ {
+		for _, c := range s.Class(i).CRef {
+			if c == NilClass {
+				nils++
+			}
+		}
+	}
+	if nils == 0 {
+		t.Fatal("INFCLASS=0 produced no NIL class references")
+	}
+}
+
+func TestSelfLoopsSuppressedForAcyclicTypes(t *testing.T) {
+	p := DefaultParams()
+	p.NC = 1
+	p.SupClass = 1
+	p.NO = 10
+	p.SupRef = 10
+	p.NRefT = 2
+	p.NumAcyclicTypes = 2 // every type acyclic; all refs target class 1
+	s, err := GenerateSchema(p, lewis.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Class(1)
+	for j, cr := range c.CRef {
+		if cr != NilClass {
+			t.Fatalf("ref %d survived as a self-loop of acyclic type %d", j, c.TRef[j])
+		}
+	}
+}
+
+func TestCheckSchemaCatchesCorruption(t *testing.T) {
+	p := smallParams()
+	s, err := GenerateSchema(p, lewis.New(p.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Class(3).TRef[0] = 99
+	if err := CheckSchema(p, s); err == nil {
+		t.Fatal("bad TRef accepted")
+	}
+	s2, _ := GenerateSchema(p, lewis.New(p.Seed))
+	s2.Class(3).CRef[0] = 77
+	if err := CheckSchema(p, s2); err == nil {
+		t.Fatal("bad CRef accepted")
+	}
+	s3, _ := GenerateSchema(p, lewis.New(p.Seed))
+	s3.Class(2).InstanceSize = 1
+	if err := CheckSchema(p, s3); err == nil {
+		t.Fatal("shrunken InstanceSize accepted")
+	}
+	// Force a cycle in an acyclic type.
+	s4, _ := GenerateSchema(p, lewis.New(p.Seed))
+	s4.Class(1).TRef[0] = 1
+	s4.Class(1).CRef[0] = 2
+	s4.Class(2).TRef[0] = 1
+	s4.Class(2).CRef[0] = 1
+	if err := CheckSchema(p, s4); err == nil {
+		t.Fatal("cycle in inheritance graph accepted")
+	}
+}
+
+func TestHasCycleHelper(t *testing.T) {
+	adj := [][]int{nil, {2}, {3}, nil}
+	if hasCycle(adj, 3) {
+		t.Fatal("chain misreported as cyclic")
+	}
+	adj[3] = []int{1}
+	if !hasCycle(adj, 3) {
+		t.Fatal("3-cycle not detected")
+	}
+	if hasCycle([][]int{nil}, 0) {
+		t.Fatal("empty graph cyclic")
+	}
+}
+
+func TestReachableHelper(t *testing.T) {
+	adj := [][]int{nil, {2, 3}, {4}, nil, nil}
+	if !reachable(adj, 1, 4) {
+		t.Fatal("1 -> 4 not found")
+	}
+	if reachable(adj, 3, 1) {
+		t.Fatal("phantom path 3 -> 1")
+	}
+	if !reachable(adj, 2, 2) {
+		t.Fatal("self must be reachable")
+	}
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ocb/internal/cluster"
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// TxType enumerates OCB's transaction classes (Fig. 3).
+type TxType int
+
+// The four OCB transaction types. Set-oriented accesses explore in breadth
+// first on all references; navigational accesses are depth first: simple
+// traversals on all references, hierarchy traversals always following the
+// same reference type, stochastic traversals choosing the next reference at
+// random with p(N) = 1/2^N (Markov-chain-like, after Tsangaris & Naughton).
+const (
+	SetAccess TxType = iota
+	SimpleTraversal
+	HierarchyTraversal
+	StochasticTraversal
+	// The generic transaction set of the paper's Section 5 extension —
+	// operations initially discarded because they cannot benefit from
+	// clustering. Their occurrence probabilities default to 0.
+	UpdateOp
+	InsertOp
+	DeleteOp
+	ScanOp
+	RangeOp
+	NumTxTypes // sentinel
+)
+
+// String returns the transaction type name as used in reports.
+func (t TxType) String() string {
+	switch t {
+	case SetAccess:
+		return "set"
+	case SimpleTraversal:
+		return "simple"
+	case HierarchyTraversal:
+		return "hierarchy"
+	case StochasticTraversal:
+		return "stochastic"
+	case UpdateOp:
+		return "update"
+	case InsertOp:
+		return "insert"
+	case DeleteOp:
+		return "delete"
+	case ScanOp:
+		return "scan"
+	case RangeOp:
+		return "range"
+	default:
+		return fmt.Sprintf("TxType(%d)", int(t))
+	}
+}
+
+// Transaction is one workload unit: a typed exploration from a root object
+// up to a depth, optionally reversed ("ascending" the graphs through
+// backward references).
+type Transaction struct {
+	Type TxType
+	Root store.OID
+	// Depth bounds the exploration: hops from the root for the traversals,
+	// steps for the stochastic walk.
+	Depth int
+	// RefType is the reference type a hierarchy traversal follows.
+	RefType int
+	// Reverse makes the transaction follow BackRef links instead of ORef.
+	Reverse bool
+}
+
+// TxResult reports one executed transaction.
+type TxResult struct {
+	ObjectsAccessed int
+	IOs             uint64
+	Duration        time.Duration
+}
+
+// Executor runs transactions against a database on behalf of one client,
+// feeding the clustering policy's observation phase along the way.
+type Executor struct {
+	DB *Database
+	// Policy receives ObserveLink/ObserveRoot/EndTransaction callbacks;
+	// nil means no observation (plain measurement run).
+	Policy cluster.Policy
+	// Src drives the stochastic traversal's random choices.
+	Src *lewis.Source
+}
+
+// NewExecutor returns an executor for db feeding policy (may be nil).
+func NewExecutor(db *Database, policy cluster.Policy, src *lewis.Source) *Executor {
+	return &Executor{DB: db, Policy: policy, Src: src}
+}
+
+// Exec runs one transaction, returning objects accessed, I/Os charged to
+// the transaction class, and wall-clock duration.
+//
+// I/O attribution note: the I/O delta is read from the shared disk
+// counters, so with CLIENTN > 1 concurrent clients the per-transaction
+// figure includes interleaved faults of other clients; global phase totals
+// remain exact. With one client the figure is exact (the configuration of
+// every experiment in the paper's Section 4).
+func (e *Executor) Exec(tx Transaction) (TxResult, error) {
+	before := e.DB.Store.Stats()
+	start := time.Now()
+
+	// Under the generic workload, deletions may have invalidated the
+	// sampled root; an in-range but deleted root resolves onto the live
+	// object set. Out-of-range roots remain errors.
+	if tx.Type != InsertOp && tx.Type != ScanOp {
+		if tx.Root == store.NilOID || int(tx.Root) >= len(e.DB.Objects) {
+			return TxResult{}, fmt.Errorf("ocb: bad root %d", tx.Root)
+		}
+		if e.DB.Objects[tx.Root] == nil {
+			root, ok := e.DB.ResolveLive(tx.Root)
+			if !ok {
+				return TxResult{}, fmt.Errorf("ocb: no live objects left")
+			}
+			tx.Root = root
+		}
+	}
+
+	var accessed int
+	var err error
+	switch tx.Type {
+	case SetAccess:
+		accessed, err = e.setAccess(tx.Root, tx.Depth, tx.Reverse)
+	case SimpleTraversal:
+		accessed, err = e.simple(tx.Root, tx.Depth, tx.Reverse)
+	case HierarchyTraversal:
+		accessed, err = e.hierarchy(tx.Root, tx.Depth, tx.RefType, tx.Reverse)
+	case StochasticTraversal:
+		accessed, err = e.stochastic(tx.Root, tx.Depth, tx.Reverse)
+	case UpdateOp:
+		accessed, err = e.update(tx.Root)
+	case InsertOp:
+		accessed, err = e.insert()
+	case DeleteOp:
+		accessed, err = e.delete(tx.Root)
+	case ScanOp:
+		accessed, err = e.scan()
+	case RangeOp:
+		accessed, err = e.rangeLookup(tx.Root)
+	default:
+		return TxResult{}, fmt.Errorf("ocb: unknown transaction type %v", tx.Type)
+	}
+	if err != nil {
+		return TxResult{}, err
+	}
+	if e.Policy != nil {
+		e.Policy.EndTransaction()
+	}
+
+	after := e.DB.Store.Stats()
+	return TxResult{
+		ObjectsAccessed: accessed,
+		IOs:             after.Disk.TransactionIOs() - before.Disk.TransactionIOs(),
+		Duration:        time.Since(start),
+	}, nil
+}
+
+// visit faults the object and notifies the policy of the crossing from
+// src (NilOID for roots).
+func (e *Executor) visit(from, to store.OID) error {
+	if err := e.DB.Store.Access(to); err != nil {
+		return err
+	}
+	if e.Policy != nil {
+		if from == store.NilOID {
+			e.Policy.ObserveRoot(to)
+		} else {
+			e.Policy.ObserveLink(from, to)
+		}
+	}
+	return nil
+}
+
+// successors returns the references leaving obj: its non-NIL ORef slots,
+// or its BackRef list when reversed.
+func (e *Executor) successors(obj *Object, reverse bool) []store.OID {
+	if reverse {
+		return obj.BackRef
+	}
+	out := make([]store.OID, 0, len(obj.ORef))
+	for _, r := range obj.ORef {
+		if r != store.NilOID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// setAccess is the set-oriented access: breadth-first on all the
+// references, up to depth hops, with set semantics (each object accessed
+// once — the breadth-first result is a set of qualifying objects).
+func (e *Executor) setAccess(root store.OID, depth int, reverse bool) (int, error) {
+	if e.DB.Object(root) == nil {
+		return 0, fmt.Errorf("ocb: bad root %d", root)
+	}
+	seen := map[store.OID]bool{root: true}
+	if err := e.visit(store.NilOID, root); err != nil {
+		return 0, err
+	}
+	accessed := 1
+	frontier := []store.OID{root}
+	for level := 0; level < depth && len(frontier) > 0; level++ {
+		var next []store.OID
+		for _, oid := range frontier {
+			obj := e.DB.Object(oid)
+			for _, succ := range e.successors(obj, reverse) {
+				if seen[succ] {
+					continue
+				}
+				seen[succ] = true
+				if err := e.visit(oid, succ); err != nil {
+					return accessed, err
+				}
+				accessed++
+				next = append(next, succ)
+			}
+		}
+		frontier = next
+	}
+	return accessed, nil
+}
+
+// simple is the simple traversal: depth-first on all the references up to
+// depth hops, duplicates allowed (as in OO1's part tree exploration).
+func (e *Executor) simple(root store.OID, depth int, reverse bool) (int, error) {
+	if e.DB.Object(root) == nil {
+		return 0, fmt.Errorf("ocb: bad root %d", root)
+	}
+	if err := e.visit(store.NilOID, root); err != nil {
+		return 0, err
+	}
+	accessed := 1
+	var dfs func(oid store.OID, remaining int) error
+	dfs = func(oid store.OID, remaining int) error {
+		if remaining == 0 {
+			return nil
+		}
+		obj := e.DB.Object(oid)
+		for _, succ := range e.successors(obj, reverse) {
+			if err := e.visit(oid, succ); err != nil {
+				return err
+			}
+			accessed++
+			if err := dfs(succ, remaining-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := dfs(root, depth)
+	return accessed, err
+}
+
+// hierarchy is the hierarchy traversal: depth-first always following the
+// same type of reference.
+func (e *Executor) hierarchy(root store.OID, depth, refType int, reverse bool) (int, error) {
+	if e.DB.Object(root) == nil {
+		return 0, fmt.Errorf("ocb: bad root %d", root)
+	}
+	if err := e.visit(store.NilOID, root); err != nil {
+		return 0, err
+	}
+	accessed := 1
+	var dfs func(oid store.OID, remaining int) error
+	dfs = func(oid store.OID, remaining int) error {
+		if remaining == 0 {
+			return nil
+		}
+		obj := e.DB.Object(oid)
+		for _, succ := range e.typedSuccessors(obj, refType, reverse) {
+			if err := e.visit(oid, succ); err != nil {
+				return err
+			}
+			accessed++
+			if err := dfs(succ, remaining-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := dfs(root, depth)
+	return accessed, err
+}
+
+// typedSuccessors returns the references of obj whose declared type is
+// refType. Reversed, it selects the BackRef entries whose owning object
+// points back at obj through a reference of that type.
+func (e *Executor) typedSuccessors(obj *Object, refType int, reverse bool) []store.OID {
+	class := e.DB.Schema.Class(obj.Class)
+	if !reverse {
+		out := make([]store.OID, 0, len(obj.ORef))
+		for k, r := range obj.ORef {
+			if r != store.NilOID && class.TRef[k] == refType {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	out := make([]store.OID, 0, len(obj.BackRef))
+	for _, from := range obj.BackRef {
+		fobj := e.DB.Object(from)
+		fclass := e.DB.Schema.Class(fobj.Class)
+		for k, r := range fobj.ORef {
+			if r == obj.OID && fclass.TRef[k] == refType {
+				out = append(out, from)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// stochastic is the stochastic traversal: a random walk of depth steps
+// where reference number N is crossed with probability p(N) = 1/2^N,
+// approaching the Markov-chain access patterns of real queries
+// (Tsangaris & Naughton). The geometric draw is folded modulo the number
+// of available references so that every step makes progress; the walk
+// stops early at objects without references.
+func (e *Executor) stochastic(root store.OID, depth int, reverse bool) (int, error) {
+	if e.DB.Object(root) == nil {
+		return 0, fmt.Errorf("ocb: bad root %d", root)
+	}
+	if err := e.visit(store.NilOID, root); err != nil {
+		return 0, err
+	}
+	accessed := 1
+	cur := root
+	for step := 0; step < depth; step++ {
+		obj := e.DB.Object(cur)
+		succ := e.successors(obj, reverse)
+		if len(succ) == 0 {
+			break
+		}
+		// Geometric draw: P(N = k) = 1/2^k, k >= 1.
+		n := 1
+		for e.Src.Bernoulli(0.5) {
+			n++
+		}
+		next := succ[(n-1)%len(succ)]
+		if err := e.visit(cur, next); err != nil {
+			return accessed, err
+		}
+		accessed++
+		cur = next
+	}
+	return accessed, nil
+}
+
+// update modifies one object in place and commits — the update operation
+// the clustering-oriented workload excludes (§3.3) and the generic
+// extension (§5) restores.
+func (e *Executor) update(root store.OID) (int, error) {
+	if err := e.DB.Store.Update(root); err != nil {
+		return 0, err
+	}
+	if e.Policy != nil {
+		e.Policy.ObserveRoot(root)
+	}
+	return 1, e.DB.Store.Commit()
+}
+
+// insert creates one new object per the generation rules and commits.
+func (e *Executor) insert() (int, error) {
+	obj, err := e.DB.InsertObject(e.Src)
+	if err != nil {
+		return 0, err
+	}
+	if e.Policy != nil {
+		e.Policy.ObserveRoot(obj.OID)
+	}
+	// The new object plus each referenced object touched for BackRef
+	// maintenance.
+	n := 1
+	for _, r := range obj.ORef {
+		if r != store.NilOID {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// delete removes the root object, repairing the graph, and commits.
+func (e *Executor) delete(root store.OID) (int, error) {
+	obj := e.DB.Object(root)
+	touched := 1 + len(obj.BackRef)
+	if e.Policy != nil {
+		e.Policy.ObserveRoot(root)
+	}
+	if err := e.DB.DeleteObject(root); err != nil {
+		return 0, err
+	}
+	return touched, nil
+}
+
+// scan visits every live object in OID order — HyperModel's Sequential
+// Scan, excluded from the clustering workload and restored by §5.
+func (e *Executor) scan() (int, error) {
+	n := 0
+	for _, oid := range e.DB.LiveOIDs() {
+		if err := e.DB.Store.Access(oid); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if e.Policy != nil && n > 0 {
+		e.Policy.ObserveRoot(e.DB.LiveOIDs()[0])
+	}
+	return n, nil
+}
+
+// rangeLookup visits the live objects whose OID falls within a 1%-of-NO
+// window starting at the root — HyperModel's Range Lookup analogue over
+// the object identifier attribute.
+func (e *Executor) rangeLookup(root store.OID) (int, error) {
+	width := e.DB.P.NO / 100
+	if width < 1 {
+		width = 1
+	}
+	n := 0
+	for i := 0; i < width; i++ {
+		oid := root + store.OID(i)
+		if e.DB.Object(oid) == nil {
+			continue
+		}
+		if err := e.DB.Store.Access(oid); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if e.Policy != nil {
+		e.Policy.ObserveRoot(root)
+	}
+	return n, nil
+}

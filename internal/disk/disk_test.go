@@ -1,0 +1,222 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateReadWrite(t *testing.T) {
+	d := New(4096)
+	p := d.Allocate()
+	if p.ID == 0 {
+		t.Fatal("allocated page has zero id")
+	}
+	if !p.Add(1, 100, 4096) {
+		t.Fatal("Add failed on empty page")
+	}
+	if err := d.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Has(1) {
+		t.Fatal("written slot not visible after read")
+	}
+	st := d.Stats()
+	if st.Reads[Transaction] != 1 || st.Writes[Transaction] != 1 {
+		t.Fatalf("stats = %+v, want 1 read / 1 write", st)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	d := New(0)
+	if _, err := d.Read(42); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("Read(42) err = %v, want ErrNoSuchPage", err)
+	}
+	// Failed reads must not be charged.
+	if d.Stats().Total() != 0 {
+		t.Fatalf("failed read was charged: %+v", d.Stats())
+	}
+}
+
+func TestWriteUnallocated(t *testing.T) {
+	d := New(0)
+	err := d.Write(&Page{ID: 99})
+	if !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("Write err = %v, want ErrNoSuchPage", err)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	if d := New(0); d.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d, want %d", d.PageSize(), DefaultPageSize)
+	}
+	if d := New(-5); d.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d, want %d", d.PageSize(), DefaultPageSize)
+	}
+}
+
+func TestIOClassRouting(t *testing.T) {
+	d := New(0)
+	p := d.Allocate()
+	if err := d.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	d.SetClass(Clustering)
+	if _, err := d.Read(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	d.SetClass(Transaction)
+	if _, err := d.Read(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Writes[Transaction] != 1 || st.Reads[Transaction] != 1 {
+		t.Fatalf("transaction counters wrong: %+v", st)
+	}
+	if st.Writes[Clustering] != 1 || st.Reads[Clustering] != 1 {
+		t.Fatalf("clustering counters wrong: %+v", st)
+	}
+	if st.TransactionIOs() != 2 || st.ClusteringIOs() != 2 || st.Total() != 4 {
+		t.Fatalf("aggregates wrong: %+v", st)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{}
+	a.Reads[Transaction] = 10
+	a.Writes[Clustering] = 4
+	b := Stats{}
+	b.Reads[Transaction] = 3
+	b.Writes[Clustering] = 1
+	dlt := a.Sub(b)
+	if dlt.Reads[Transaction] != 7 || dlt.Writes[Clustering] != 3 {
+		t.Fatalf("Sub = %+v", dlt)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New(0)
+	p := d.Allocate()
+	if err := d.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	if d.Stats().Total() != 0 {
+		t.Fatalf("stats not reset: %+v", d.Stats())
+	}
+}
+
+func TestFreeAndPageIDs(t *testing.T) {
+	d := New(0)
+	p1 := d.Allocate()
+	p2 := d.Allocate()
+	p3 := d.Allocate()
+	d.Free(p2.ID)
+	ids := d.PageIDs()
+	if len(ids) != 2 || ids[0] != p1.ID || ids[1] != p3.ID {
+		t.Fatalf("PageIDs = %v", ids)
+	}
+	if d.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", d.NumPages())
+	}
+	if _, err := d.Read(p2.ID); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("freed page still readable: %v", err)
+	}
+}
+
+func TestFailureHook(t *testing.T) {
+	d := New(0)
+	p := d.Allocate()
+	if err := d.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	d.FailureHook = func(op Op, id PageID) error {
+		if op == OpRead {
+			return boom
+		}
+		return nil
+	}
+	if _, err := d.Read(p.ID); !errors.Is(err, boom) {
+		t.Fatalf("hook not consulted on read: %v", err)
+	}
+	if err := d.Write(p); err != nil {
+		t.Fatalf("hook wrongly failed write: %v", err)
+	}
+	// Failed I/O must not be charged.
+	st := d.Stats()
+	if st.TotalReads() != 0 {
+		t.Fatalf("failed read charged: %+v", st)
+	}
+}
+
+func TestPageAddRemove(t *testing.T) {
+	p := &Page{ID: 1}
+	const pageSize = 100
+	if !p.Add(1, 60, pageSize) {
+		t.Fatal("first Add failed")
+	}
+	if p.Add(2, 60, pageSize) {
+		t.Fatal("Add beyond capacity succeeded")
+	}
+	if !p.Add(2, 40, pageSize) {
+		t.Fatal("exact-fit Add failed")
+	}
+	if p.Free(pageSize) != 0 {
+		t.Fatalf("Free = %d, want 0", p.Free(pageSize))
+	}
+	if !p.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if p.Remove(1) {
+		t.Fatal("double Remove succeeded")
+	}
+	if p.Used != 40 {
+		t.Fatalf("Used = %d after remove, want 40", p.Used)
+	}
+	if p.Has(1) || !p.Has(2) {
+		t.Fatal("Has() inconsistent after remove")
+	}
+}
+
+// TestPageUsageInvariant property-checks that Used always equals the sum of
+// slot sizes under arbitrary add/remove sequences.
+func TestPageUsageInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := &Page{ID: 1}
+		const pageSize = 1 << 14
+		next := uint64(1)
+		for _, op := range ops {
+			if op%3 == 0 && len(p.Slots) > 0 {
+				p.Remove(p.Slots[int(op)%len(p.Slots)].Object)
+			} else {
+				p.Add(next, int(op%100)+1, pageSize)
+				next++
+			}
+		}
+		sum := 0
+		for _, s := range p.Slots {
+			sum += s.Size
+		}
+		return sum == p.Used
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOClassString(t *testing.T) {
+	if Transaction.String() != "transaction" || Clustering.String() != "clustering" {
+		t.Fatal("IOClass names wrong")
+	}
+	if IOClass(9).String() == "" {
+		t.Fatal("unknown class has empty name")
+	}
+}

@@ -1,0 +1,53 @@
+package disk
+
+// Snapshot is a serializable image of the disk's content: every page with
+// its slot directory, plus the allocation cursor. Snapshots charge no I/O
+// — they model an offline backup/restore of the device, used to persist
+// generated databases across benchmark runs.
+type Snapshot struct {
+	PageSize int
+	Next     PageID
+	Pages    []Page
+}
+
+// Export captures a deep copy of the disk's state.
+func (d *Disk) Export() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &Snapshot{PageSize: d.pageSize, Next: d.next}
+	for _, id := range d.pageIDsLocked() {
+		p := d.pages[id]
+		cp := Page{ID: p.ID, Used: p.Used, Slots: append([]Slot(nil), p.Slots...)}
+		s.Pages = append(s.Pages, cp)
+	}
+	return s
+}
+
+// Import replaces the disk's content with the snapshot's. Statistics are
+// reset; the I/O class is preserved.
+func (d *Disk) Import(s *Snapshot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pageSize = s.PageSize
+	d.next = s.Next
+	d.pages = make(map[PageID]*Page, len(s.Pages))
+	for _, p := range s.Pages {
+		cp := &Page{ID: p.ID, Used: p.Used, Slots: append([]Slot(nil), p.Slots...)}
+		d.pages[cp.ID] = cp
+	}
+	d.stats = Stats{}
+}
+
+// pageIDsLocked returns ascending page ids; caller holds d.mu.
+func (d *Disk) pageIDsLocked() []PageID {
+	ids := make([]PageID, 0, len(d.pages))
+	for id := range d.pages {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,317 @@
+package dstc
+
+import (
+	"testing"
+
+	"ocb/internal/store"
+)
+
+func newStore(t *testing.T, n, size int) (*store.Store, []store.OID) {
+	t.Helper()
+	s, err := store.Open(store.Config{PageSize: 256, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids := make([]store.OID, n)
+	for i := range oids {
+		oid, err := s.Create(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return s, oids
+}
+
+func TestDefaults(t *testing.T) {
+	d := New(Params{})
+	p := d.Params()
+	if p.ObservationPeriod != 100 || p.Tfa != 2 || p.Tfe != 1 || p.Tfc != 2 || p.Aging != 0.9 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if d.Name() != "dstc" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestObserveLinkIgnoresDegenerate(t *testing.T) {
+	d := New(Params{})
+	d.ObserveLink(store.NilOID, 2)
+	d.ObserveLink(2, store.NilOID)
+	d.ObserveLink(3, 3)
+	if d.Stats().LinksObserved != 0 {
+		t.Fatalf("degenerate links observed: %d", d.Stats().LinksObserved)
+	}
+}
+
+func TestSelectionDropsInsignificantLinks(t *testing.T) {
+	d := New(Params{ObservationPeriod: 1, Tfa: 2})
+	d.ObserveLink(1, 2) // crossed once: below Tfa
+	d.ObserveLink(3, 4)
+	d.ObserveLink(3, 4) // crossed twice: survives
+	d.EndTransaction()  // period of 1 closes immediately
+	if w := d.ConsolidatedWeight(1, 2); w != 0 {
+		t.Fatalf("insignificant link consolidated: %v", w)
+	}
+	if w := d.ConsolidatedWeight(3, 4); w != 2 {
+		t.Fatalf("significant link weight = %v, want 2", w)
+	}
+	if d.Stats().Periods != 1 {
+		t.Fatalf("periods = %d", d.Stats().Periods)
+	}
+}
+
+func TestConsolidationAgingAndEviction(t *testing.T) {
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfe: 1, Aging: 0.5})
+	d.ObserveLink(1, 2)
+	d.ObserveLink(1, 2) // weight 2 consolidated
+	d.EndTransaction()
+	if w := d.ConsolidatedWeight(1, 2); w != 2 {
+		t.Fatalf("initial weight = %v", w)
+	}
+	// One empty period: 2*0.5 = 1, still >= Tfe.
+	d.ObserveLink(8, 9) // unrelated traffic so the period has content
+	d.EndTransaction()
+	if w := d.ConsolidatedWeight(1, 2); w != 1 {
+		t.Fatalf("aged weight = %v, want 1", w)
+	}
+	// Next empty period: 1*0.5 = 0.5 < Tfe -> evicted.
+	d.ObserveLink(8, 9)
+	d.EndTransaction()
+	if w := d.ConsolidatedWeight(1, 2); w != 0 {
+		t.Fatalf("entry not evicted: %v", w)
+	}
+}
+
+func TestReinforcementBeatsAging(t *testing.T) {
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfe: 1, Aging: 0.5})
+	for i := 0; i < 5; i++ {
+		d.ObserveLink(1, 2)
+		d.ObserveLink(1, 2)
+		d.EndTransaction()
+	}
+	// Fixed point of w = 0.5w + 2 is 4; weight must have grown past 3.
+	if w := d.ConsolidatedWeight(1, 2); w < 3 {
+		t.Fatalf("reinforced weight = %v, want >= 3", w)
+	}
+}
+
+func TestPeriodBoundary(t *testing.T) {
+	d := New(Params{ObservationPeriod: 3, Tfa: 1})
+	d.ObserveLink(1, 2)
+	d.EndTransaction()
+	d.EndTransaction()
+	if d.Stats().Periods != 0 {
+		t.Fatal("period closed early")
+	}
+	d.EndTransaction()
+	if d.Stats().Periods != 1 {
+		t.Fatal("period not closed at boundary")
+	}
+	if w := d.ConsolidatedWeight(1, 2); w != 1 {
+		t.Fatalf("weight = %v", w)
+	}
+}
+
+func TestReorganizeBuildsUnitsAndColocates(t *testing.T) {
+	s, oids := newStore(t, 40, 50)
+	// MaxUnitBytes is raised above one page so the whole 4-object chain
+	// (4 x 66 = 264 bytes) forms a single unit.
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfc: 2, MaxUnitBytes: 512})
+	// A hot chain 0 -> 10 -> 20 -> 30, crossed 5 times.
+	for i := 0; i < 5; i++ {
+		d.ObserveLink(oids[0], oids[10])
+		d.ObserveLink(oids[10], oids[20])
+		d.ObserveLink(oids[20], oids[30])
+		d.EndTransaction()
+	}
+	rs, err := d.Reorganize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ObjectsMoved != 4 {
+		t.Fatalf("moved = %d, want 4", rs.ObjectsMoved)
+	}
+	st := d.Stats()
+	if st.UnitsBuilt != 1 || st.ObjectsInUnits != 4 {
+		t.Fatalf("units = %d / objects = %d", st.UnitsBuilt, st.ObjectsInUnits)
+	}
+	// The chain (4 x 66 bytes = 264... exceeds one 256-byte page, so it
+	// spills) must still be contiguous: on at most 2 adjacent new pages.
+	pages := make(map[uint32]bool)
+	for _, i := range []int{0, 10, 20, 30} {
+		pg, _ := s.PageOf(oids[i])
+		pages[uint32(pg)] = true
+	}
+	if len(pages) > 2 {
+		t.Fatalf("unit scattered across %d pages", len(pages))
+	}
+}
+
+func TestReorganizeFlushesPartialPeriod(t *testing.T) {
+	s, oids := newStore(t, 10, 50)
+	d := New(Params{ObservationPeriod: 1000, Tfa: 2, Tfc: 2})
+	d.ObserveLink(oids[0], oids[5])
+	d.ObserveLink(oids[0], oids[5])
+	d.EndTransaction() // period far from complete
+	if _, err := d.Reorganize(s); err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := s.PageOf(oids[0])
+	p5, _ := s.PageOf(oids[5])
+	if p0 != p5 {
+		t.Fatal("partial-period statistics were not flushed before reorganization")
+	}
+}
+
+func TestReorganizeEmptyIsNoop(t *testing.T) {
+	s, _ := newStore(t, 4, 50)
+	d := New(Params{})
+	rs, err := d.Reorganize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ObjectsMoved != 0 || d.Stats().Reorganizations != 0 {
+		t.Fatal("empty reorganize moved objects")
+	}
+}
+
+func TestMaxUnitBytesBound(t *testing.T) {
+	s, oids := newStore(t, 10, 50) // 66 bytes each
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfc: 1, MaxUnitBytes: 140})
+	// Chain of strong links; units must stay <= 2 objects (132 <= 140).
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i < 9; i++ {
+			d.ObserveLink(oids[i], oids[i+1])
+		}
+		d.EndTransaction()
+	}
+	if _, err := d.Reorganize(s); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.UnitsBuilt == 0 {
+		t.Fatal("no units built")
+	}
+	if st.ObjectsInUnits > st.UnitsBuilt*2 {
+		t.Fatalf("some unit exceeded the byte bound: %d objects in %d units",
+			st.ObjectsInUnits, st.UnitsBuilt)
+	}
+}
+
+func TestMaxUnitsCap(t *testing.T) {
+	s, oids := newStore(t, 20, 50)
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfc: 1, MaxUnits: 1, MaxUnitBytes: 140})
+	for rep := 0; rep < 3; rep++ {
+		d.ObserveLink(oids[0], oids[1])
+		d.ObserveLink(oids[4], oids[5])
+		d.ObserveLink(oids[8], oids[9])
+		d.EndTransaction()
+	}
+	if _, err := d.Reorganize(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().UnitsBuilt; got != 1 {
+		t.Fatalf("units applied = %d, want capped at 1", got)
+	}
+}
+
+func TestUnitMerging(t *testing.T) {
+	s, oids := newStore(t, 12, 20) // 36 bytes each: 7 fit a 256-byte page
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfc: 1})
+	// Two pairs formed first (heavier), then a bridging link merges them.
+	for i := 0; i < 4; i++ {
+		d.ObserveLink(oids[0], oids[1])
+		d.ObserveLink(oids[2], oids[3])
+	}
+	d.ObserveLink(oids[1], oids[2])
+	d.ObserveLink(oids[1], oids[2])
+	d.EndTransaction()
+	if _, err := d.Reorganize(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().UnitsBuilt; got != 1 {
+		t.Fatalf("units = %d, want 1 merged unit", got)
+	}
+	pg := make(map[uint32]bool)
+	for _, i := range []int{0, 1, 2, 3} {
+		p, _ := s.PageOf(oids[i])
+		pg[uint32(p)] = true
+	}
+	if len(pg) != 1 {
+		t.Fatalf("merged unit on %d pages", len(pg))
+	}
+}
+
+func TestStaleStatisticsForDeletedObjects(t *testing.T) {
+	s, oids := newStore(t, 6, 50)
+	d := New(Params{ObservationPeriod: 1, Tfa: 1, Tfc: 1})
+	d.ObserveLink(oids[0], oids[1])
+	d.ObserveLink(oids[0], oids[1])
+	d.EndTransaction()
+	if err := s.Delete(oids[1]); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := d.Reorganize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ObjectsMoved != 0 {
+		t.Fatal("deleted object's link still produced a unit")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(Params{ObservationPeriod: 1, Tfa: 1})
+	d.ObserveLink(1, 2)
+	d.ObserveLink(1, 2)
+	d.EndTransaction()
+	d.Reset()
+	if d.ConsolidatedWeight(1, 2) != 0 {
+		t.Fatal("consolidated matrix survived reset")
+	}
+	st := d.Stats()
+	if st.LinksObserved != 0 || st.Periods != 0 || st.ConsolidatedSize != 0 {
+		t.Fatalf("stats survived reset: %+v", st)
+	}
+}
+
+// TestImprovesChainLocality is the end-to-end sanity check: a traversal
+// chain scattered across pages must occupy strictly fewer pages after DSTC
+// observes the traversals and reorganizes.
+func TestImprovesChainLocality(t *testing.T) {
+	s, oids := newStore(t, 60, 50)
+	chain := []store.OID{oids[0], oids[12], oids[25], oids[38], oids[51]}
+	distinctPages := func() int {
+		pages := make(map[uint32]bool)
+		for _, oid := range chain {
+			p, _ := s.PageOf(oid)
+			pages[uint32(p)] = true
+		}
+		return len(pages)
+	}
+	before := distinctPages()
+	if before < 4 {
+		t.Fatalf("test premise broken: chain starts on %d pages", before)
+	}
+	d := New(Params{ObservationPeriod: 10, Tfa: 2, Tfc: 2})
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < len(chain)-1; i++ {
+			d.ObserveLink(chain[i], chain[i+1])
+		}
+		d.EndTransaction()
+	}
+	if _, err := d.Reorganize(s); err != nil {
+		t.Fatal(err)
+	}
+	after := distinctPages()
+	if after >= before {
+		t.Fatalf("locality not improved: %d -> %d pages", before, after)
+	}
+	if after > 2 {
+		t.Fatalf("chain still on %d pages", after)
+	}
+}

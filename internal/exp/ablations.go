@@ -1,0 +1,463 @@
+package exp
+
+import (
+	"fmt"
+
+	"ocb/internal/cluster"
+	"ocb/internal/core"
+	"ocb/internal/dstc"
+	"ocb/internal/hypermodel"
+	"ocb/internal/lewis"
+	"ocb/internal/oo1"
+	"ocb/internal/oo7"
+	"ocb/internal/report"
+	"ocb/internal/store"
+)
+
+// Policies reproduces ablation A1: every clustering policy on the same
+// database and the same single-type recurring workload, compared on the
+// paper's before/after/gain axes plus the clustering overhead each policy
+// charges.
+func Policies(c Config) (*report.Table, error) {
+	t := report.New("A1 — clustering policy shoot-out (single-type recurring workload)",
+		"Policy", "I/Os before", "I/Os after", "Gain", "Clustering I/Os", "Objects moved")
+
+	n, reps := 60, 3
+	if c.Quick {
+		n = 30
+	}
+	for _, name := range []string{"none", "sequential", "byclass", "hot", "greedy", "dstc"} {
+		p := c.mimicParams() // single-type CluB-like workload (PSimple=1)
+		db, err := core.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("policies %s: %w", name, err)
+		}
+		var policy cluster.Policy
+		switch name {
+		case "none":
+			policy = cluster.None{}
+		case "sequential":
+			policy = &cluster.Sequential{Objects: db.AllOIDs}
+		case "byclass":
+			policy = &cluster.ByClass{Objects: db.AllOIDs, Label: db.ClassOf}
+		case "hot":
+			policy = cluster.NewHot()
+		case "greedy":
+			g := cluster.NewGreedy(1 << 16)
+			g.MinWeight = 2
+			policy = g
+		case "dstc":
+			policy = clubDSTC()
+		}
+		res, err := replay(db, policy, n, reps, 771+c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("policies %s: %w", name, err)
+		}
+		t.AddRow(name, report.F1(res.Before), report.F1(res.After), report.F2(res.Gain),
+			report.U64(res.ClusteringIOs), report.Int(res.Reloc.ObjectsMoved))
+	}
+	t.AddNote("same database geometry and transaction stream for every policy")
+	return t, nil
+}
+
+// BufferSweep reproduces ablation A2 (the paper's "optimal hardware
+// configuration" use case, Section 2): mean transaction I/Os and buffer
+// hit ratio as the page-frame budget grows, without clustering.
+func BufferSweep(c Config) (*report.Table, error) {
+	buffers := []int{64, 128, 256, 512, 1024}
+	n := 300
+	if c.Quick {
+		buffers = []int{32, 64, 128}
+		n = 120
+	}
+	t := report.New("A2 — buffer size sweep (no clustering)",
+		"Buffer pages", "Mean I/Os per tx", "Hit ratio", "DB pages")
+	for _, b := range buffers {
+		p := c.mimicParams()
+		p.BufferPages = b
+		db, err := core.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("buffer sweep %d: %w", b, err)
+		}
+		db.Store.DropCache()
+		r := core.NewRunner(db, nil)
+		m, err := r.RunPhase("sweep", n, 4242+c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("buffer sweep %d: %w", b, err)
+		}
+		st := db.Store.Stats()
+		t.AddRow(report.Int(b), report.F1(m.MeanIOsPerTx()),
+			report.F2(st.Pool.HitRatio()), report.Int(st.Pages))
+	}
+	return t, nil
+}
+
+// MultiClient reproduces ablation A3: OCB's multi-user mode (CLIENTN > 1),
+// almost unique among the period's benchmarks per Section 3.1.
+func MultiClient(c Config) (*report.Table, error) {
+	clients := []int{1, 2, 4, 8}
+	perClient := 100
+	if c.Quick {
+		clients = []int{1, 2, 4}
+		perClient = 40
+	}
+	t := report.New("A3 — multi-client scaling",
+		"Clients", "Transactions", "Mean I/Os per tx", "Wall time", "Tx/s")
+	for _, cl := range clients {
+		p := c.mimicParams()
+		d := core.DefaultParams()
+		p.PSet, p.PSimple, p.PHier, p.PStoch = d.PSet, d.PSimple, d.PHier, d.PStoch
+		p.SetDepth, p.SimDepth, p.HieDepth, p.StoDepth = d.SetDepth, d.SimDepth, d.HieDepth, d.StoDepth
+		p.ClientN = cl
+		db, err := core.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("multiclient %d: %w", cl, err)
+		}
+		db.Store.DropCache()
+		r := core.NewRunner(db, nil)
+		m, err := r.RunPhase("clients", perClient, 31337+c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("multiclient %d: %w", cl, err)
+		}
+		tps := float64(m.Transactions) / m.Duration.Seconds()
+		t.AddRow(report.Int(cl), report.I64(m.Transactions),
+			report.F1(m.MeanIOsPerTx()), report.Dur(m.Duration), report.F1(tps))
+	}
+	t.AddNote("shared store and buffer: clients pollute each other's cache")
+	return t, nil
+}
+
+// Reverse reproduces ablation A4: forward vs reversed transactions
+// ("ascending the graphs" through backward references, Section 3.3).
+func Reverse(c Config) (*report.Table, error) {
+	n := 200
+	if c.Quick {
+		n = 80
+	}
+	t := report.New("A4 — forward vs reversed traversals",
+		"Direction", "Mean I/Os per tx", "Mean objects per tx")
+	for _, rev := range []bool{false, true} {
+		p := c.mimicParams()
+		if rev {
+			p.PReverse = 1
+		}
+		db, err := core.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("reverse: %w", err)
+		}
+		db.Store.DropCache()
+		r := core.NewRunner(db, nil)
+		m, err := r.RunPhase("dir", n, 555+c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("reverse: %w", err)
+		}
+		name := "forward"
+		if rev {
+			name = "reversed"
+		}
+		t.AddRow(name, report.F1(m.MeanIOsPerTx()), report.F1(m.Global.Objects.Mean()))
+	}
+	return t, nil
+}
+
+// DSTCSensitivity reproduces ablation A5: DSTC's tunables (observation
+// period and selection threshold) against the Table 4 OCB workload.
+func DSTCSensitivity(c Config) (*report.Table, error) {
+	obsN, measN := 120, 60
+	if c.Quick {
+		obsN, measN = 60, 30
+	}
+	t := report.New("A5 — DSTC parameter sensitivity (single-type workload)",
+		"ObservationPeriod", "Tfa", "Gain", "Objects moved", "Units")
+	type cell struct {
+		period int
+		tfa    float64
+	}
+	cells := []cell{
+		{1 << 30, 1}, {1 << 30, 2}, {1 << 30, 5},
+		{50, 2}, {10, 2},
+	}
+	if c.Quick {
+		cells = cells[:3]
+	}
+	for _, cl := range cells {
+		p := c.mimicParams()
+		db, err := core.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("dstc sensitivity: %w", err)
+		}
+		d := dstc.New(dstc.Params{
+			ObservationPeriod: cl.period,
+			Tfa:               cl.tfa,
+			Tfc:               cl.tfa,
+			MaxUnitBytes:      1 << 16,
+		})
+		res, err := heldOut(db, d, obsN, measN, 3, 999331+c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("dstc sensitivity: %w", err)
+		}
+		period := fmt.Sprintf("%d", cl.period)
+		if cl.period == 1<<30 {
+			period = "whole run"
+		}
+		t.AddRow(period, report.F1(cl.tfa), report.F2(res.Gain),
+			report.Int(res.Reloc.ObjectsMoved), report.Int(d.Stats().UnitsBuilt))
+	}
+	t.AddNote("short periods fragment the statistics: links crossed once per period fail selection")
+	return t, nil
+}
+
+// TypeBreakdown reports OCB's per-transaction-type metrics (response time,
+// accessed objects, I/Os) for the default mixed workload — the
+// measurement surface Section 3.3 defines.
+func TypeBreakdown(c Config) (*report.Table, error) {
+	p := c.mimicParams()
+	d := core.DefaultParams()
+	p.PSet, p.PSimple, p.PHier, p.PStoch = d.PSet, d.PSimple, d.PHier, d.PStoch
+	p.SetDepth, p.SimDepth, p.HieDepth, p.StoDepth = d.SetDepth, d.SimDepth, d.HieDepth, d.StoDepth
+	n := 800
+	if c.Quick {
+		n = 200
+	}
+	db, err := core.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	db.Store.DropCache()
+	r := core.NewRunner(db, nil)
+	m, err := r.RunPhase("types", n, 808+c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Per-transaction-type metrics (default workload mix)",
+		"Type", "Count", "Mean response (µs)", "Mean objects", "Mean I/Os", "P95 response (µs)")
+	for typ := core.TxType(0); typ < core.NumTxTypes; typ++ {
+		tm := m.PerType[typ]
+		t.AddRow(typ.String(), report.I64(tm.Count), report.F1(tm.Response.Mean()),
+			report.F1(tm.Objects.Mean()), report.F1(tm.IOs.Mean()), report.F1(tm.ResponseQ.P95()))
+	}
+	t.AddRow("all", report.I64(m.Transactions), report.F1(m.Global.Response.Mean()),
+		report.F1(m.Global.Objects.Mean()), report.F1(m.Global.IOs.Mean()),
+		report.F1(m.Global.ResponseQ.P95()))
+	return t, nil
+}
+
+// RootSkew reproduces ablation A7: the transaction-root distribution
+// (RAND5/DIST5) is one of OCB's levers for modeling application behaviour;
+// skewed roots concentrate the working set and change how much clustering
+// can help. Zipf-skewed roots against uniform ones, same database, same
+// DSTC tuning, held-out protocol.
+func RootSkew(c Config) (*report.Table, error) {
+	obsN, measN := 120, 60
+	if c.Quick {
+		obsN, measN = 60, 30
+	}
+	t := report.New("A7 — transaction-root distribution (RAND5) skew",
+		"DIST5", "I/Os before", "I/Os after", "Gain")
+	for _, spec := range []string{"uniform", "zipf:1"} {
+		dist, err := lewis.ParseDistribution(spec)
+		if err != nil {
+			return nil, err
+		}
+		p := c.mimicParams()
+		p.Dist5 = dist
+		db, err := core.Generate(p)
+		if err != nil {
+			return nil, fmt.Errorf("root skew %s: %w", spec, err)
+		}
+		res, err := heldOut(db, clubDSTC(), obsN, measN, 3, 999331+c.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("root skew %s: %w", spec, err)
+		}
+		t.AddRow(spec, report.F1(res.Before), report.F1(res.After), report.F2(res.Gain))
+	}
+	t.AddNote("zipf roots concentrate the workload on a hot region — more stereotyped, more gain")
+	return t, nil
+}
+
+// GenericWorkload reproduces ablation A6 — the paper's Section 5
+// extension: the "fully generic" transaction set (the four
+// clustering-oriented types plus update, insertion, deletion, sequential
+// scan and range lookup) run as one workload, reported per type.
+func GenericWorkload(c Config) (*report.Table, error) {
+	p := core.GenericParams()
+	p.NO = 8000
+	p.SupRef = 8000
+	p.BufferPages = 176
+	n := 600
+	if c.Quick {
+		p.NO = 2000
+		p.SupRef = 2000
+		p.BufferPages = 52
+		n = 200
+	}
+	db, err := core.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	db.Store.DropCache()
+	r := core.NewRunner(db, nil)
+	m, err := r.RunPhase("generic", n, 1515+c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.CheckDatabase(db); err != nil {
+		return nil, fmt.Errorf("generic workload corrupted the database: %w", err)
+	}
+	t := report.New("A6 — fully generic workload (Section 5 extension)",
+		"Type", "Count", "Mean response (µs)", "Mean objects", "Mean I/Os")
+	for typ := core.TxType(0); typ < core.NumTxTypes; typ++ {
+		tm := m.PerType[typ]
+		t.AddRow(typ.String(), report.I64(tm.Count), report.F1(tm.Response.Mean()),
+			report.F1(tm.Objects.Mean()), report.F1(tm.IOs.Mean()))
+	}
+	t.AddRow("all", report.I64(m.Transactions), report.F1(m.Global.Response.Mean()),
+		report.F1(m.Global.Objects.Mean()), report.F1(m.Global.IOs.Mean()))
+	t.AddNote("live objects after churn: %d (started at %d)", db.NumLive(), p.NO)
+	return t, nil
+}
+
+// OO1Suite runs the full OO1 benchmark (Section 2.1) and reports each
+// operation's mean response time and I/Os over its NRuns runs.
+func OO1Suite(c Config) (*report.Table, error) {
+	p := oo1.DefaultParams()
+	p.BufferPages = 512
+	if c.Quick {
+		p.NumParts = 4000
+		p.RefZone = 40
+		p.TraversalDepth = 5
+		p.NRuns = 3
+		p.BufferPages = 64
+	}
+	db, err := oo1.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	results, err := db.RunAll(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("OO1 (Cattell) benchmark",
+		"Operation", "Runs", "Mean I/Os", "Mean time", "Objects (total)")
+	for _, r := range results {
+		t.AddRow(r.Name, report.Int(r.Runs), report.F1(r.MeanIOs),
+			report.Dur(r.MeanTime), report.Int(r.Objects))
+	}
+	t.AddNote("database: %d parts, generated in %s", p.NumParts, report.Dur(db.GenTime))
+	return t, nil
+}
+
+// HyperModelSuite runs the 20 HyperModel operations under the
+// setup/cold/warm protocol (Section 2.2).
+func HyperModelSuite(c Config) (*report.Table, error) {
+	p := hypermodel.DefaultParams()
+	if c.Quick {
+		p.Levels = 4
+		p.Inputs = 10
+		p.BufferPages = 32
+	}
+	db, err := hypermodel.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	results, err := db.RunAll(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("HyperModel (Tektronix) benchmark",
+		"Operation", "Cold I/Os", "Warm I/Os", "Cold time", "Warm time", "Objects")
+	for _, r := range results {
+		t.AddRow(string(r.Name), report.U64(r.ColdIOs), report.U64(r.WarmIOs),
+			report.Dur(r.ColdTime), report.Dur(r.WarmTime), report.Int(r.Objects))
+	}
+	t.AddNote("%d nodes, %d inputs per operation, generated in %s",
+		db.NumNodes(), p.Inputs, report.Dur(db.GenTime))
+	return t, nil
+}
+
+// OO7Suite runs the OO7 traversals and queries (Section 2.3).
+func OO7Suite(c Config) (*report.Table, error) {
+	p := oo7.DefaultParams()
+	if c.Quick {
+		p.NumComp = 50
+		p.NumAtomic = 10
+		p.AssmLevels = 4
+		p.BufferPages = 64
+	}
+	db, err := oo7.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	results, err := db.RunAll(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("OO7 benchmark (small configuration)",
+		"Operation", "I/Os", "Time", "Objects")
+	for _, r := range results {
+		t.AddRow(r.Name, report.U64(r.IOs), report.Dur(r.Duration), report.Int(r.Objects))
+	}
+	// Structural modifications round-trip.
+	ids, ins, err := db.Insert(2, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Insert", report.U64(ins.IOs), report.Dur(ins.Duration), report.Int(ins.Objects))
+	del, err := db.Delete(ids, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Delete", report.U64(del.IOs), report.Dur(del.Duration), report.Int(del.Objects))
+	t.AddNote("%d composite parts, %d atomic parts, generated in %s",
+		p.NumComp, db.NumAtomics(), report.Dur(db.GenTime))
+	return t, nil
+}
+
+// GenericityCheck is the experiment behind the paper's genericity claim:
+// the OO1-shaped traversal (3280 parts at depth 7, fan-out 3) falls out of
+// OCB's CluB parameterization. It reports the objects visited by one
+// simple traversal from a class-1 root on the Table 3 database.
+func GenericityCheck(c Config) (*report.Table, error) {
+	p := c.mimicParams()
+	db, err := core.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	// Pick a root of class 1 so all MAXNREF=3 references are live.
+	var root store.OID
+	for i := 1; i <= p.NO; i++ {
+		if cl, _ := db.ClassOf(store.OID(i)); cl == 1 {
+			root = store.OID(i)
+			break
+		}
+	}
+	ex := core.NewExecutor(db, nil, nil)
+	res, err := ex.Exec(core.Transaction{Type: core.SimpleTraversal, Root: root, Depth: 7})
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Genericity — OO1's traversal shape from OCB's Table 3 parameters",
+		"Traversal", "Objects visited", "OO1 reference value")
+	t.AddRow("simple traversal, depth 7, fan-out 3", report.Int(res.ObjectsAccessed), "3280")
+	return t, nil
+}
+
+// All runs every experiment and returns the tables in presentation order.
+func All(c Config) ([]*report.Table, error) {
+	runners := []func(Config) (*report.Table, error){
+		Table1, Table2, Table3, Fig4, Table4, Table5,
+		GenericityCheck, TypeBreakdown,
+		Policies, BufferSweep, MultiClient, Reverse, DSTCSensitivity,
+		GenericWorkload, RootSkew, SimulatedTestbed,
+		OO1Suite, HyperModelSuite, OO7Suite,
+	}
+	var out []*report.Table
+	for _, run := range runners {
+		tb, err := run(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}

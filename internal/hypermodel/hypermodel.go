@@ -1,0 +1,598 @@
+// Package hypermodel implements the HyperModel benchmark (Anderson et al.,
+// EDBT 1990; also called the Tektronix benchmark) described in Section 2.2
+// of the OCB paper, on the shared store substrate.
+//
+// The database is an extended hypertext graph of Node objects bound by
+// three relationship families:
+//
+//   - aggregation (parent/children, 1-N): a full tree of fanout 5 and six
+//     levels — the canonical 3906 nodes;
+//   - partOf/parts (M-N): each non-leaf node is linked to five random
+//     nodes of the next level;
+//   - refTo/refFrom (1-1 association): every node references one random
+//     node.
+//
+// The workload is the benchmark's seven operation kinds (name lookup,
+// range lookup, group lookup, reference lookup, sequential scan, closure
+// traversal, editing), each executed under HyperModel's setup/cold/warm
+// protocol: 50 precomputed inputs, a timed cold run over all 50 (with a
+// commit when the operation updates), then a warm run repeating the same
+// inputs to expose caching effects.
+package hypermodel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ocb/internal/buffer"
+	"ocb/internal/cluster"
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// Params sizes the HyperModel database.
+type Params struct {
+	// Levels is the number of aggregation levels below the root.
+	// Default 5, which with Fanout 5 yields the canonical 3906 nodes.
+	Levels int
+	// Fanout is the aggregation tree fan-out. Default 5.
+	Fanout int
+	// PartFanout is the number of partOf links per non-leaf node.
+	// Default 5.
+	PartFanout int
+	// NodeSize is the node payload size in bytes (attributes plus text).
+	// Default 100.
+	NodeSize int
+	// Inputs is the number of precomputed operation inputs (the "50" of
+	// the protocol). Default 50.
+	Inputs int
+	// MillionRange is the attribute domain for the million attribute.
+	// Default 1000000.
+	MillionRange int
+
+	PageSize    int
+	BufferPages int
+	Policy      buffer.Policy
+	Seed        int64
+}
+
+// DefaultParams returns the canonical HyperModel configuration.
+func DefaultParams() Params {
+	return Params{
+		Levels:       5,
+		Fanout:       5,
+		PartFanout:   5,
+		NodeSize:     100,
+		Inputs:       50,
+		MillionRange: 1000000,
+		PageSize:     4096,
+		BufferPages:  512,
+		Seed:         1990, // EDBT '90
+	}
+}
+
+// Validate reports the first bad parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.Levels < 1 || p.Fanout < 1:
+		return fmt.Errorf("hypermodel: bad tree shape %d/%d", p.Levels, p.Fanout)
+	case p.PartFanout < 0:
+		return fmt.Errorf("hypermodel: PartFanout = %d", p.PartFanout)
+	case p.NodeSize < 0:
+		return fmt.Errorf("hypermodel: NodeSize = %d", p.NodeSize)
+	case p.Inputs < 1:
+		return fmt.Errorf("hypermodel: Inputs = %d", p.Inputs)
+	case p.MillionRange < 1:
+		return fmt.Errorf("hypermodel: MillionRange = %d", p.MillionRange)
+	}
+	return nil
+}
+
+// Node is one hypertext node.
+type Node struct {
+	OID   store.OID
+	ID    int // uniqueId attribute; dense 1..N
+	Level int
+	// Hundred is the hundred attribute (ID % 100); Million is a random
+	// attribute in [0, MillionRange).
+	Hundred, Million int
+
+	Parent   store.OID // aggregation, inverse of Children
+	Children []store.OID
+	Parts    []store.OID // partOf M-N, forward
+	PartOf   []store.OID // partOf M-N, inverse
+	RefTo    store.OID   // 1-1 association
+	RefFrom  []store.OID // inverse of RefTo
+}
+
+// Database is a generated HyperModel object base.
+type Database struct {
+	P     Params
+	Store *store.Store
+	// Nodes is indexed by uniqueId (1-based).
+	Nodes []*Node
+	// Levels[k] lists the node ids of aggregation level k.
+	Levels [][]int
+	// GenTime is the creation wall-clock duration.
+	GenTime time.Duration
+
+	byHundred [][]int // hundred attribute index
+	byMillion []int   // node ids sorted by million attribute
+	src       *lewis.Source
+}
+
+// Generate builds the HyperModel database level by level.
+func Generate(p Params) (*Database, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := store.Open(store.Config{
+		PageSize:    p.PageSize,
+		BufferPages: p.BufferPages,
+		Policy:      p.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		P:         p,
+		Store:     st,
+		Nodes:     []*Node{nil},
+		Levels:    make([][]int, p.Levels+1),
+		byHundred: make([][]int, 100),
+		src:       lewis.New(p.Seed),
+	}
+
+	// Aggregation tree, created level by level (breadth-first placement).
+	for level := 0; level <= p.Levels; level++ {
+		count := 1
+		for i := 0; i < level; i++ {
+			count *= p.Fanout
+		}
+		for i := 0; i < count; i++ {
+			n, err := db.newNode(level)
+			if err != nil {
+				return nil, err
+			}
+			db.Levels[level] = append(db.Levels[level], n.ID)
+		}
+	}
+	// Parent/children links: node i of level k+1 belongs to parent
+	// i/Fanout of level k.
+	for level := 1; level <= p.Levels; level++ {
+		for i, id := range db.Levels[level] {
+			parent := db.Nodes[db.Levels[level-1][i/p.Fanout]]
+			child := db.Nodes[id]
+			child.Parent = parent.OID
+			parent.Children = append(parent.Children, child.OID)
+		}
+	}
+	// partOf links: each non-leaf node references PartFanout random nodes
+	// of the next level (M-N: a node can be part of several nodes).
+	for level := 0; level < p.Levels; level++ {
+		next := db.Levels[level+1]
+		for _, id := range db.Levels[level] {
+			node := db.Nodes[id]
+			for k := 0; k < p.PartFanout; k++ {
+				part := db.Nodes[next[db.src.Intn(len(next))]]
+				node.Parts = append(node.Parts, part.OID)
+				part.PartOf = append(part.PartOf, node.OID)
+			}
+		}
+	}
+	// refTo: every node references one random node.
+	for id := 1; id < len(db.Nodes); id++ {
+		node := db.Nodes[id]
+		target := db.Nodes[db.src.IntRange(1, len(db.Nodes)-1)]
+		node.RefTo = target.OID
+		target.RefFrom = append(target.RefFrom, node.OID)
+	}
+	// Attribute indexes.
+	db.byMillion = make([]int, 0, len(db.Nodes)-1)
+	for id := 1; id < len(db.Nodes); id++ {
+		db.byMillion = append(db.byMillion, id)
+	}
+	sort.Slice(db.byMillion, func(i, j int) bool {
+		a, b := db.Nodes[db.byMillion[i]], db.Nodes[db.byMillion[j]]
+		if a.Million != b.Million {
+			return a.Million < b.Million
+		}
+		return a.ID < b.ID
+	})
+
+	if err := st.Commit(); err != nil {
+		return nil, err
+	}
+	db.GenTime = time.Since(start)
+	st.ResetStats()
+	return db, nil
+}
+
+func (db *Database) newNode(level int) (*Node, error) {
+	oid, err := db.Store.Create(db.P.NodeSize)
+	if err != nil {
+		return nil, fmt.Errorf("hypermodel: creating node: %w", err)
+	}
+	n := &Node{
+		OID:     oid,
+		ID:      len(db.Nodes),
+		Level:   level,
+		Million: db.src.Intn(db.P.MillionRange),
+	}
+	n.Hundred = n.ID % 100
+	db.Nodes = append(db.Nodes, n)
+	db.byHundred[n.Hundred] = append(db.byHundred[n.Hundred], n.ID)
+	return n, nil
+}
+
+// NumNodes returns the node count.
+func (db *Database) NumNodes() int { return len(db.Nodes) - 1 }
+
+// node returns the node owning an OID (linear id mapping: OIDs are dense).
+func (db *Database) node(oid store.OID) *Node { return db.Nodes[int(oid)] }
+
+// OpName enumerates the benchmark's operations.
+type OpName string
+
+// The twenty HyperModel operations, grouped in their seven kinds.
+const (
+	NameLookup          OpName = "nameLookup"
+	NameOIDLookup       OpName = "nameOIDLookup"
+	RangeLookupHundred  OpName = "rangeLookupHundred"
+	RangeLookupMillion  OpName = "rangeLookupMillion"
+	GroupLookupChildren OpName = "groupLookup1N"
+	GroupLookupParts    OpName = "groupLookupMN"
+	GroupLookupRefTo    OpName = "groupLookup11"
+	RefLookupParent     OpName = "refLookup1N"
+	RefLookupPartOf     OpName = "refLookupMN"
+	RefLookupRefFrom    OpName = "refLookup11"
+	SeqScan             OpName = "seqScan"
+	ClosureChildren     OpName = "closure1N"
+	ClosureParts        OpName = "closureMN"
+	ClosureRefTo        OpName = "closure11"
+	ClosureChildrenDpth OpName = "closure1NDepth"
+	ClosurePartsDpth    OpName = "closureMNDepth"
+	ClosureRefToDpth    OpName = "closure11Depth"
+	EditNode            OpName = "editNode"
+	EditText            OpName = "editText"
+	EditMillion         OpName = "editMillion"
+)
+
+// AllOperations lists every operation in protocol order.
+func AllOperations() []OpName {
+	return []OpName{
+		NameLookup, NameOIDLookup,
+		RangeLookupHundred, RangeLookupMillion,
+		GroupLookupChildren, GroupLookupParts, GroupLookupRefTo,
+		RefLookupParent, RefLookupPartOf, RefLookupRefFrom,
+		SeqScan,
+		ClosureChildren, ClosureParts, ClosureRefTo,
+		ClosureChildrenDpth, ClosurePartsDpth, ClosureRefToDpth,
+		EditNode, EditText, EditMillion,
+	}
+}
+
+// OpResult reports one operation under the setup/cold/warm protocol.
+type OpResult struct {
+	Name               OpName
+	Inputs             int
+	ColdIOs, WarmIOs   uint64
+	ColdTime, WarmTime time.Duration
+	Objects            int // objects accessed during the cold run
+}
+
+// RunOp executes one operation under the HyperModel protocol: setup
+// (untimed input precomputation), cold run over the Inputs inputs, then a
+// warm run repeating the same inputs.
+func (db *Database) RunOp(name OpName, policy cluster.Policy) (OpResult, error) {
+	inputs := make([]int, db.P.Inputs)
+	for i := range inputs {
+		inputs[i] = db.src.IntRange(1, db.NumNodes())
+	}
+	res := OpResult{Name: name, Inputs: len(inputs)}
+	// The cold run starts from a cold cache; the warm run that follows
+	// repeats the same inputs to test the effect of caching (§2.2).
+	db.Store.DropCache()
+
+	runOnce := func() (int, uint64, time.Duration, error) {
+		before := db.Store.Stats().Disk.TransactionIOs()
+		start := time.Now()
+		objects := 0
+		update := false
+		for _, in := range inputs {
+			n, upd, err := db.execute(name, in, policy)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			objects += n
+			update = update || upd
+			if policy != nil {
+				policy.EndTransaction()
+			}
+		}
+		// "If the operation is an update, commit the changes once for
+		// all 50 operations."
+		if update {
+			if err := db.Store.Commit(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		ios := db.Store.Stats().Disk.TransactionIOs() - before
+		return objects, ios, time.Since(start), nil
+	}
+
+	var err error
+	res.Objects, res.ColdIOs, res.ColdTime, err = runOnce()
+	if err != nil {
+		return res, fmt.Errorf("hypermodel: %s cold run: %w", name, err)
+	}
+	_, res.WarmIOs, res.WarmTime, err = runOnce()
+	if err != nil {
+		return res, fmt.Errorf("hypermodel: %s warm run: %w", name, err)
+	}
+	return res, nil
+}
+
+// RunAll executes every operation and returns the results in order.
+func (db *Database) RunAll(policy cluster.Policy) ([]OpResult, error) {
+	var out []OpResult
+	for _, op := range AllOperations() {
+		r, err := db.RunOp(op, policy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// execute runs one operation instance from input node id, returning the
+// number of objects accessed and whether it updated the database.
+func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int, bool, error) {
+	node := db.Nodes[input]
+	switch name {
+	case NameLookup, NameOIDLookup:
+		// Retrieve one randomly selected node (by uniqueId / by OID —
+		// both a single store access here).
+		return 1, false, db.access(store.NilOID, node.OID, policy)
+
+	case RangeLookupHundred:
+		// Retrieve nodes with hundred = value (N/100 nodes via index).
+		n := 0
+		for _, id := range db.byHundred[input%100] {
+			if err := db.access(store.NilOID, db.Nodes[id].OID, policy); err != nil {
+				return n, false, err
+			}
+			n++
+		}
+		return n, false, nil
+
+	case RangeLookupMillion:
+		// Retrieve nodes with million in [lo, lo+1%), via the sorted index.
+		lo := db.Nodes[input].Million
+		hi := lo + db.P.MillionRange/100
+		start := sort.Search(len(db.byMillion), func(i int) bool {
+			return db.Nodes[db.byMillion[i]].Million >= lo
+		})
+		n := 0
+		for i := start; i < len(db.byMillion); i++ {
+			nd := db.Nodes[db.byMillion[i]]
+			if nd.Million >= hi {
+				break
+			}
+			if err := db.access(store.NilOID, nd.OID, policy); err != nil {
+				return n, false, err
+			}
+			n++
+		}
+		return n, false, nil
+
+	case GroupLookupChildren:
+		return db.group(node, node.Children, policy)
+	case GroupLookupParts:
+		return db.group(node, node.Parts, policy)
+	case GroupLookupRefTo:
+		return db.group(node, []store.OID{node.RefTo}, policy)
+
+	case RefLookupParent:
+		if node.Parent == store.NilOID {
+			return 0, false, nil
+		}
+		return db.group(node, []store.OID{node.Parent}, policy)
+	case RefLookupPartOf:
+		return db.group(node, node.PartOf, policy)
+	case RefLookupRefFrom:
+		return db.group(node, node.RefFrom, policy)
+
+	case SeqScan:
+		n := 0
+		for id := 1; id <= db.NumNodes(); id++ {
+			if err := db.access(store.NilOID, db.Nodes[id].OID, policy); err != nil {
+				return n, false, err
+			}
+			n++
+		}
+		return n, false, nil
+
+	case ClosureChildren:
+		return db.closure(node, relChildren, db.P.Levels+1, policy)
+	case ClosureParts:
+		return db.closure(node, relParts, db.P.Levels+1, policy)
+	case ClosureRefTo:
+		return db.closure(node, relRefTo, 25, policy)
+	case ClosureChildrenDpth:
+		return db.closure(node, relChildren, 2, policy)
+	case ClosurePartsDpth:
+		return db.closure(node, relParts, 2, policy)
+	case ClosureRefToDpth:
+		return db.closure(node, relRefTo, 5, policy)
+
+	case EditNode, EditMillion:
+		// Update an attribute on one node.
+		if err := db.Store.Update(node.OID); err != nil {
+			return 0, false, err
+		}
+		if name == EditMillion {
+			node.Million = db.src.Intn(db.P.MillionRange)
+		}
+		if policy != nil {
+			policy.ObserveRoot(node.OID)
+		}
+		return 1, true, nil
+
+	case EditText:
+		// Update the text of a node and its refTo target (a two-object
+		// update transaction).
+		if err := db.Store.Update(node.OID); err != nil {
+			return 0, false, err
+		}
+		if err := db.Store.Update(node.RefTo); err != nil {
+			return 1, true, err
+		}
+		if policy != nil {
+			policy.ObserveRoot(node.OID)
+			policy.ObserveLink(node.OID, node.RefTo)
+		}
+		return 2, true, nil
+
+	default:
+		return 0, false, fmt.Errorf("hypermodel: unknown operation %q", name)
+	}
+}
+
+type relKind int
+
+const (
+	relChildren relKind = iota
+	relParts
+	relRefTo
+)
+
+// group accesses the root then each related node (one-level lookup).
+func (db *Database) group(root *Node, related []store.OID, policy cluster.Policy) (int, bool, error) {
+	if err := db.access(store.NilOID, root.OID, policy); err != nil {
+		return 0, false, err
+	}
+	n := 1
+	for _, oid := range related {
+		if oid == store.NilOID {
+			continue
+		}
+		if err := db.access(root.OID, oid, policy); err != nil {
+			return n, false, err
+		}
+		n++
+	}
+	return n, false, nil
+}
+
+// closure traverses a relationship transitively up to depth.
+func (db *Database) closure(root *Node, rel relKind, depth int, policy cluster.Policy) (int, bool, error) {
+	if err := db.access(store.NilOID, root.OID, policy); err != nil {
+		return 0, false, err
+	}
+	n := 1
+	var walk func(cur *Node, remaining int) error
+	walk = func(cur *Node, remaining int) error {
+		if remaining == 0 {
+			return nil
+		}
+		var next []store.OID
+		switch rel {
+		case relChildren:
+			next = cur.Children
+		case relParts:
+			next = cur.Parts
+		case relRefTo:
+			if cur.RefTo != store.NilOID {
+				next = []store.OID{cur.RefTo}
+			}
+		}
+		for _, oid := range next {
+			if err := db.access(cur.OID, oid, policy); err != nil {
+				return err
+			}
+			n++
+			if err := walk(db.node(oid), remaining-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := walk(root, depth)
+	return n, false, err
+}
+
+// access faults one node and feeds the policy.
+func (db *Database) access(from, to store.OID, policy cluster.Policy) error {
+	if err := db.Store.Access(to); err != nil {
+		return err
+	}
+	if policy != nil {
+		if from == store.NilOID {
+			policy.ObserveRoot(to)
+		} else {
+			policy.ObserveLink(from, to)
+		}
+	}
+	return nil
+}
+
+// Check verifies structural invariants: tree shape, inverse relationship
+// symmetry, and index completeness.
+func Check(db *Database) error {
+	p := db.P
+	want := 0
+	count := 1
+	for level := 0; level <= p.Levels; level++ {
+		if len(db.Levels[level]) != count {
+			return fmt.Errorf("hypermodel: level %d has %d nodes, want %d", level, len(db.Levels[level]), count)
+		}
+		want += count
+		count *= p.Fanout
+	}
+	if db.NumNodes() != want {
+		return fmt.Errorf("hypermodel: %d nodes, want %d", db.NumNodes(), want)
+	}
+	for id := 1; id <= db.NumNodes(); id++ {
+		n := db.Nodes[id]
+		if n.Level > 0 {
+			parent := db.node(n.Parent)
+			found := false
+			for _, c := range parent.Children {
+				if c == n.OID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("hypermodel: node %d not among parent's children", id)
+			}
+		}
+		if n.Level < p.Levels && len(n.Children) != p.Fanout {
+			return fmt.Errorf("hypermodel: node %d has %d children", id, len(n.Children))
+		}
+		for _, part := range n.Parts {
+			pn := db.node(part)
+			if pn.Level != n.Level+1 {
+				return fmt.Errorf("hypermodel: part link crosses %d levels", pn.Level-n.Level)
+			}
+			found := false
+			for _, po := range pn.PartOf {
+				if po == n.OID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("hypermodel: partOf inverse missing for node %d", id)
+			}
+		}
+		if n.RefTo == store.NilOID {
+			return fmt.Errorf("hypermodel: node %d has no refTo", id)
+		}
+	}
+	return nil
+}

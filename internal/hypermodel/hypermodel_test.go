@@ -1,0 +1,279 @@
+package hypermodel
+
+import (
+	"testing"
+
+	"ocb/internal/store"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.Levels = 3 // 1 + 5 + 25 + 125 = 156 nodes
+	p.Inputs = 5
+	p.BufferPages = 16
+	return p
+}
+
+func TestGenerateCanonicalShape(t *testing.T) {
+	p := DefaultParams()
+	p.BufferPages = 64
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumNodes() != 3906 {
+		t.Fatalf("nodes = %d, want the canonical 3906", db.NumNodes())
+	}
+	if err := Check(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.GenTime <= 0 {
+		t.Fatal("generation time missing")
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumNodes() != 156 {
+		t.Fatalf("nodes = %d, want 156", db.NumNodes())
+	}
+	if err := Check(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartLinksStayOneLevelDown(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= db.NumNodes(); id++ {
+		n := db.Nodes[id]
+		if n.Level < db.P.Levels && len(n.Parts) != db.P.PartFanout {
+			t.Fatalf("node %d has %d parts", id, len(n.Parts))
+		}
+		if n.Level == db.P.Levels && len(n.Parts) != 0 {
+			t.Fatalf("leaf %d has parts", id)
+		}
+	}
+}
+
+func TestAllOperationsRun(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := db.RunAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 20 {
+		t.Fatalf("got %d operations, want the 20 of the benchmark", len(results))
+	}
+	for _, r := range results {
+		if r.Inputs != db.P.Inputs {
+			t.Fatalf("%s ran %d inputs", r.Name, r.Inputs)
+		}
+		if r.Objects < 1 {
+			t.Fatalf("%s accessed nothing", r.Name)
+		}
+		if r.ColdTime <= 0 || r.WarmTime <= 0 {
+			t.Fatalf("%s times not measured", r.Name)
+		}
+	}
+}
+
+func TestWarmRunBenefitsFromCache(t *testing.T) {
+	p := smallParams()
+	p.Levels = 4 // 781 nodes: larger than the 16-page buffer's worth
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Store.DropCache()
+	res, err := db.RunOp(NameLookup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm run repeats the exact same 5 lookups: all cache hits
+	// (5 nodes fit any buffer).
+	if res.WarmIOs >= res.ColdIOs && res.ColdIOs > 0 {
+		t.Fatalf("warm run not cheaper: cold=%d warm=%d", res.ColdIOs, res.WarmIOs)
+	}
+}
+
+func TestSeqScanTouchesEverything(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RunOp(SeqScan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objects != db.NumNodes()*db.P.Inputs {
+		t.Fatalf("seqScan accessed %d, want %d", res.Objects, db.NumNodes()*db.P.Inputs)
+	}
+}
+
+func TestRangeLookupHundredSelectivity(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, upd, err := db.execute(RangeLookupHundred, 37, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd {
+		t.Fatal("range lookup flagged as update")
+	}
+	want := 0
+	for id := 1; id <= db.NumNodes(); id++ {
+		if db.Nodes[id].Hundred == 37 {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("hundred=37 matched %d, want %d", n, want)
+	}
+}
+
+func TestRangeLookupMillionSelectivity(t *testing.T) {
+	p := smallParams()
+	p.Levels = 4
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := 3
+	lo := db.Nodes[input].Million
+	hi := lo + db.P.MillionRange/100
+	want := 0
+	for id := 1; id <= db.NumNodes(); id++ {
+		if m := db.Nodes[id].Million; m >= lo && m < hi {
+			want++
+		}
+	}
+	n, _, err := db.execute(RangeLookupMillion, input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("million range matched %d, want %d", n, want)
+	}
+}
+
+func TestEditingCommits(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Store.DropCache()
+	db.Store.ResetStats()
+	res, err := db.RunOp(EditNode, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updates must commit: writes charged during the cold run.
+	if res.ColdIOs == 0 {
+		t.Fatal("edit committed nothing")
+	}
+	if w := db.Store.Stats().Disk.TotalWrites(); w == 0 {
+		t.Fatal("no writes after update commit")
+	}
+}
+
+func TestClosureChildrenFromRoot(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closure over children from the root touches the whole tree once.
+	n, _, err := db.execute(ClosureChildren, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != db.NumNodes() {
+		t.Fatalf("closure from root accessed %d, want %d", n, db.NumNodes())
+	}
+}
+
+func TestClosureRefToBounded(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := db.execute(ClosureRefTo, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 26 {
+		t.Fatalf("refTo closure accessed %d, want 1..26", n)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.execute(OpName("bogus"), 1, nil); err == nil {
+		t.Fatal("unknown operation accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Levels = 0 },
+		func(p *Params) { p.Fanout = 0 },
+		func(p *Params) { p.PartFanout = -1 },
+		func(p *Params) { p.NodeSize = -1 },
+		func(p *Params) { p.Inputs = 0 },
+		func(p *Params) { p.MillionRange = 0 },
+	}
+	for i, f := range bad {
+		p := DefaultParams()
+		f(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRefFromInverse(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for id := 1; id <= db.NumNodes(); id++ {
+		n := db.Nodes[id]
+		target := db.node(n.RefTo)
+		found := false
+		for _, rf := range target.RefFrom {
+			if rf == n.OID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing from refFrom of its target", id)
+		}
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no nodes checked")
+	}
+	var total int
+	for id := 1; id <= db.NumNodes(); id++ {
+		total += len(db.Nodes[id].RefFrom)
+	}
+	if total != db.NumNodes() {
+		t.Fatalf("refFrom total = %d, want %d", total, db.NumNodes())
+	}
+	_ = store.NilOID
+}

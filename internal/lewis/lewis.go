@@ -1,0 +1,177 @@
+// Package lewis implements the Lewis–Payne generalized feedback shift
+// register (GFSR) pseudo-random number generator used by the OCB paper for
+// database generation and workload selection, together with the bounded
+// random distributions OCB's parameters (DIST1..DIST5) draw from.
+//
+// The generator realizes the recurrence
+//
+//	x(n) = x(n-P) XOR x(n-P+Q)
+//
+// over 32-bit words with the primitive trinomial x^98 + x^27 + 1
+// (P = 98, Q = 27), the pairing proposed by T.G. Lewis and W.H. Payne,
+// "Generalized Feedback Shift Register Pseudorandom Number Algorithm",
+// JACM 20(3), 1973. The state is seeded from a SplitMix64 stream and the
+// first few thousand outputs are discarded so that word columns decouple.
+//
+// All OCB randomness flows through seeded Sources, which makes every
+// database generation and every workload run reproducible bit-for-bit.
+package lewis
+
+// GFSR trinomial degree and tap, x^P + x^Q + 1.
+const (
+	P = 98
+	Q = 27
+)
+
+// warmup is the number of outputs discarded after seeding. GFSR registers
+// seeded from a congruential stream exhibit strong column correlations
+// until the register has been cycled several times.
+const warmup = 10 * P
+
+// Source is a deterministic Lewis–Payne GFSR pseudo-random source.
+// It is not safe for concurrent use; give each client its own Source.
+type Source struct {
+	state [P]uint32
+	i, j  int
+
+	// Box–Muller spare for NormFloat64.
+	haveSpare bool
+	spare     float64
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator to the state derived from seed.
+// Two Sources with equal seeds produce identical output streams.
+func (s *Source) Seed(seed int64) {
+	// SplitMix64 expansion of the seed into the register. SplitMix64 is an
+	// equidistributed 64-bit mixer; its low 32 bits fill one word each.
+	x := uint64(seed)
+	any := false
+	for k := 0; k < P; k++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		s.state[k] = uint32(z)
+		if s.state[k] != 0 {
+			any = true
+		}
+	}
+	if !any {
+		// An all-zero register is the one fixed point of the recurrence.
+		s.state[0] = 1
+	}
+	s.i = 0
+	s.j = Q
+	s.haveSpare = false
+	for k := 0; k < warmup; k++ {
+		s.Uint32()
+	}
+}
+
+// Uint32 returns the next 32 bits of the GFSR stream.
+func (s *Source) Uint32() uint32 {
+	v := s.state[s.i] ^ s.state[s.j]
+	s.state[s.i] = v
+	s.i++
+	if s.i == P {
+		s.i = 0
+	}
+	s.j++
+	if s.j == P {
+		s.j = 0
+	}
+	return v
+}
+
+// Uint64 returns the next 64 bits, composed from two GFSR words.
+func (s *Source) Uint64() uint64 {
+	hi := uint64(s.Uint32())
+	lo := uint64(s.Uint32())
+	return hi<<32 | lo
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a float in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns an integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("lewis: Intn called with n <= 0")
+	}
+	if n == 1 {
+		// Still consume one output so call sequences stay aligned
+		// regardless of range degeneracy.
+		s.Uint32()
+		return 0
+	}
+	// Rejection sampling over 63 bits removes modulo bias.
+	const maxInt63 = int64(1<<63 - 1)
+	max := int64(n)
+	limit := maxInt63 - maxInt63%max
+	for {
+		v := s.Int63()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// IntRange returns an integer uniformly drawn from the inclusive
+// interval [lo, hi]. If hi <= lo it returns lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi <= lo {
+		if hi < lo {
+			return lo
+		}
+		s.Uint32()
+		return lo
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Bernoulli reports true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the n elements exchanged by swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent child Source from this one, advancing the
+// parent. Children with the same derivation order are reproducible.
+func (s *Source) Split() *Source {
+	return New(int64(s.Uint64()))
+}

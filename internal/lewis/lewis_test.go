@@ -1,0 +1,244 @@
+package lewis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 10000; i++ {
+		if av, bv := a.Uint32(), b.Uint32(); av != bv {
+			t.Fatalf("stream diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > n/100 {
+		t.Fatalf("seeds 1 and 2 produced %d/%d identical words", same, n)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	s := New(7)
+	first := make([]uint32, 100)
+	for i := range first {
+		first[i] = s.Uint32()
+	}
+	s.Seed(7)
+	for i := range first {
+		if v := s.Uint32(); v != first[i] {
+			t.Fatalf("after re-Seed, word %d = %d, want %d", i, v, first[i])
+		}
+	}
+}
+
+// TestGFSRRecurrence replays the raw output stream and checks that each
+// word satisfies x(n) = x(n-P) XOR x(n-P+Q), the Lewis–Payne trinomial
+// recurrence the paper names.
+func TestGFSRRecurrence(t *testing.T) {
+	s := New(12345)
+	const n = 5000
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = s.Uint32()
+	}
+	for i := P; i < n; i++ {
+		want := out[i-P] ^ out[i-P+Q]
+		if out[i] != want {
+			t.Fatalf("recurrence violated at %d: got %#x want %#x", i, out[i], want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(99)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(17)
+	const buckets = 10
+	const n = 100000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d has %d draws, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(11)
+	f := func(a, b int16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := s.IntRange(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRangeDegenerate(t *testing.T) {
+	s := New(1)
+	if v := s.IntRange(5, 5); v != 5 {
+		t.Fatalf("IntRange(5,5) = %d", v)
+	}
+	if v := s.IntRange(9, 2); v != 9 {
+		t.Fatalf("IntRange(9,2) = %d, want lo", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(21)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(33)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(100)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint32() == c2.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("split children correlated: %d/1000 equal words", same)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(55)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", frac)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(77)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(88)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}

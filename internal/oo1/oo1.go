@@ -1,0 +1,466 @@
+// Package oo1 implements the OO1 benchmark ("Objects Operations 1", the
+// Cattell benchmark) that Section 2.1 of the OCB paper describes, on the
+// same store substrate as OCB itself.
+//
+// OO1's database is two classes: Part and Connection. Parts are composite
+// elements connected through Connection objects to exactly three other
+// parts; each connection references its source (From) and destination (To)
+// part. Locality of reference is simulated by a reference zone: part #i is
+// linked to parts with ids in [i-RefZone, i+RefZone] with probability 0.9,
+// otherwise to a part chosen totally at random.
+//
+// The workload is three operations, each run NRuns times with response
+// time measured per run: Lookup (1000 random parts), Traversal (depth-first
+// from a random root through the Connect and To references, 7 hops, 3280
+// parts with possible duplicates — reversible through From), and Insert
+// (100 parts plus their connections, then commit).
+//
+// OO1 is both a baseline in its own right and the ancestor of DSTC-CluB
+// (package club), whose Table 4 comparison OCB reproduces.
+package oo1
+
+import (
+	"fmt"
+	"time"
+
+	"ocb/internal/buffer"
+	"ocb/internal/cluster"
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// Params sizes the OO1 database and workload.
+type Params struct {
+	// NumParts is the number of Part objects. Default 20000.
+	NumParts int
+	// ConnsPerPart is the out-degree of every part. Default 3.
+	ConnsPerPart int
+	// RefZone is the locality zone half-width in part ids. 0 means
+	// NumParts/100 (the canonical "1% of the database" zone).
+	RefZone int
+	// PLocal is the probability a connection lands inside the zone.
+	// Default 0.9.
+	PLocal float64
+	// PartSize and ConnSize are payload sizes in bytes. Default 50 each
+	// (DSTC-CluB keeps object sizes constant at 50 bytes).
+	PartSize, ConnSize int
+	// Lookups is the number of parts accessed by one Lookup operation.
+	// Default 1000.
+	Lookups int
+	// TraversalDepth is the hop count of one Traversal. Default 7.
+	TraversalDepth int
+	// Inserts is the number of parts added by one Insert. Default 100.
+	Inserts int
+	// NRuns is how many times each operation is repeated. Default 10.
+	NRuns int
+
+	// Store geometry.
+	PageSize    int
+	BufferPages int
+	Policy      buffer.Policy
+
+	// Seed drives all generation and workload randomness.
+	Seed int64
+}
+
+// DefaultParams returns the canonical OO1 configuration.
+func DefaultParams() Params {
+	return Params{
+		NumParts:       20000,
+		ConnsPerPart:   3,
+		RefZone:        200,
+		PLocal:         0.9,
+		PartSize:       50,
+		ConnSize:       50,
+		Lookups:        1000,
+		TraversalDepth: 7,
+		Inserts:        100,
+		NRuns:          10,
+		PageSize:       4096,
+		BufferPages:    512,
+		Seed:           1991, // Cattell '91
+	}
+}
+
+// Validate reports the first bad parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.NumParts < 2:
+		return fmt.Errorf("oo1: NumParts = %d", p.NumParts)
+	case p.ConnsPerPart < 1:
+		return fmt.Errorf("oo1: ConnsPerPart = %d", p.ConnsPerPart)
+	case p.RefZone < 0:
+		return fmt.Errorf("oo1: RefZone = %d", p.RefZone)
+	case p.PLocal < 0 || p.PLocal > 1:
+		return fmt.Errorf("oo1: PLocal = %v", p.PLocal)
+	case p.PartSize < 0 || p.ConnSize < 0:
+		return fmt.Errorf("oo1: negative object size")
+	case p.Lookups < 1 || p.TraversalDepth < 0 || p.Inserts < 0 || p.NRuns < 1:
+		return fmt.Errorf("oo1: bad workload counts")
+	}
+	return nil
+}
+
+// Part is a composite element of the OO1 database.
+type Part struct {
+	OID store.OID
+	// ID is the part's dictionary id (locality is defined over ids).
+	ID int
+	// Out are the connections leaving this part (Connect references).
+	Out []store.OID
+	// In are the connections arriving at this part (reverse direction).
+	In []store.OID
+}
+
+// Connection links two parts.
+type Connection struct {
+	OID  store.OID
+	From store.OID // source part
+	To   store.OID // destination part
+}
+
+// Database is a generated OO1 object base.
+type Database struct {
+	P     Params
+	Store *store.Store
+	// Parts is the dictionary, keyed by store OID.
+	Parts map[store.OID]*Part
+	// ByID maps part id (1-based) to OID; ids are dense.
+	ByID []store.OID
+	// Conns maps a connection OID to its record.
+	Conns map[store.OID]*Connection
+	// GenTime is the database creation wall-clock time.
+	GenTime time.Duration
+
+	src *lewis.Source
+}
+
+// Generate builds the OO1 database: all parts first (the "dictionary"),
+// then for each part its ConnsPerPart connections, targets drawn with the
+// reference-zone rule.
+func Generate(p Params) (*Database, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.RefZone == 0 {
+		p.RefZone = p.NumParts / 100
+	}
+	st, err := store.Open(store.Config{
+		PageSize:    p.PageSize,
+		BufferPages: p.BufferPages,
+		Policy:      p.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		P:     p,
+		Store: st,
+		Parts: make(map[store.OID]*Part, p.NumParts),
+		ByID:  make([]store.OID, 1, p.NumParts+1),
+		Conns: make(map[store.OID]*Connection, p.NumParts*p.ConnsPerPart),
+		src:   lewis.New(p.Seed),
+	}
+
+	// Step 1: create all the Part objects and store them into a dictionary.
+	for i := 1; i <= p.NumParts; i++ {
+		if _, err := db.newPart(); err != nil {
+			return nil, fmt.Errorf("oo1: creating part %d: %w", i, err)
+		}
+	}
+	// Step 2: for each part, randomly choose ConnsPerPart other parts and
+	// create the associated connections.
+	for i := 1; i <= p.NumParts; i++ {
+		from := db.Parts[db.ByID[i]]
+		for c := 0; c < p.ConnsPerPart; c++ {
+			if _, err := db.connect(from); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := st.Commit(); err != nil {
+		return nil, err
+	}
+	db.GenTime = time.Since(start)
+	st.ResetStats()
+	return db, nil
+}
+
+// newPart creates and registers a new part with the next dictionary id.
+func (db *Database) newPart() (*Part, error) {
+	oid, err := db.Store.Create(db.P.PartSize)
+	if err != nil {
+		return nil, err
+	}
+	part := &Part{OID: oid, ID: len(db.ByID)}
+	db.Parts[oid] = part
+	db.ByID = append(db.ByID, oid)
+	return part, nil
+}
+
+// connect creates one connection from the given part to a target drawn by
+// the reference-zone rule.
+func (db *Database) connect(from *Part) (*Connection, error) {
+	targetID := db.drawTarget(from.ID)
+	target := db.Parts[db.ByID[targetID]]
+	oid, err := db.Store.Create(db.P.ConnSize)
+	if err != nil {
+		return nil, fmt.Errorf("oo1: creating connection: %w", err)
+	}
+	conn := &Connection{OID: oid, From: from.OID, To: target.OID}
+	db.Conns[oid] = conn
+	from.Out = append(from.Out, oid)
+	target.In = append(target.In, oid)
+	return conn, nil
+}
+
+// drawTarget applies OO1's locality rule for a connection leaving part id.
+func (db *Database) drawTarget(id int) int {
+	p := db.P
+	if db.src.Bernoulli(p.PLocal) {
+		lo, hi := id-p.RefZone, id+p.RefZone
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > db.NumParts() {
+			hi = db.NumParts()
+		}
+		return db.src.IntRange(lo, hi)
+	}
+	return db.src.IntRange(1, db.NumParts())
+}
+
+// NumParts returns the current part count.
+func (db *Database) NumParts() int { return len(db.ByID) - 1 }
+
+// OpResult is the measurement of one operation run.
+type OpResult struct {
+	Objects  int
+	IOs      uint64
+	Duration time.Duration
+}
+
+// Lookup performs one OO1 lookup run: access p.Lookups randomly selected
+// parts.
+func (db *Database) Lookup(policy cluster.Policy) (OpResult, error) {
+	return db.measure(policy, func() (int, error) {
+		n := 0
+		for i := 0; i < db.P.Lookups; i++ {
+			oid := db.ByID[db.src.IntRange(1, db.NumParts())]
+			if err := db.Store.Access(oid); err != nil {
+				return n, err
+			}
+			if policy != nil {
+				policy.ObserveRoot(oid)
+			}
+			n++
+		}
+		return n, nil
+	})
+}
+
+// Traversal performs one OO1 traversal run: from a random root part,
+// depth-first through the Connect and To references up to TraversalDepth
+// hops (3280 parts at the default depth, duplicates possible). reverse
+// swaps the To and From directions.
+func (db *Database) Traversal(policy cluster.Policy, reverse bool) (OpResult, error) {
+	root := db.ByID[db.src.IntRange(1, db.NumParts())]
+	return db.TraversalFrom(policy, root, reverse)
+}
+
+// TraversalFrom is Traversal with an explicit root — the replay hook the
+// before/after clustering protocol (DSTC-CluB) needs.
+func (db *Database) TraversalFrom(policy cluster.Policy, root store.OID, reverse bool) (OpResult, error) {
+	if _, ok := db.Parts[root]; !ok {
+		return OpResult{}, fmt.Errorf("oo1: root %d is not a part", root)
+	}
+	return db.measure(policy, func() (int, error) {
+		n := 0
+		var visit func(part store.OID, depth int) error
+		visit = func(oid store.OID, depth int) error {
+			if err := db.Store.Access(oid); err != nil {
+				return err
+			}
+			n++
+			if depth == 0 {
+				return nil
+			}
+			part := db.Parts[oid]
+			conns := part.Out
+			if reverse {
+				conns = part.In
+			}
+			for _, coid := range conns {
+				// Crossing part -> connection -> part faults both objects.
+				if err := db.Store.Access(coid); err != nil {
+					return err
+				}
+				conn := db.Conns[coid]
+				next := conn.To
+				if reverse {
+					next = conn.From
+				}
+				if policy != nil {
+					policy.ObserveLink(oid, coid)
+					policy.ObserveLink(coid, next)
+				}
+				if err := visit(next, depth-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if policy != nil {
+			policy.ObserveRoot(root)
+		}
+		err := visit(root, db.P.TraversalDepth)
+		return n, err
+	})
+}
+
+// Insert performs one OO1 insert run: add p.Inserts parts and their
+// connections, then commit the changes.
+func (db *Database) Insert(policy cluster.Policy) (OpResult, error) {
+	return db.measure(policy, func() (int, error) {
+		n := 0
+		for i := 0; i < db.P.Inserts; i++ {
+			part, err := db.newPart()
+			if err != nil {
+				return n, err
+			}
+			n++
+			for c := 0; c < db.P.ConnsPerPart; c++ {
+				if _, err := db.connect(part); err != nil {
+					return n, err
+				}
+				n++
+			}
+		}
+		return n, db.Store.Commit()
+	})
+}
+
+// measure wraps an operation with I/O and wall-clock accounting, then
+// signals the end of the transaction to the policy.
+func (db *Database) measure(policy cluster.Policy, op func() (int, error)) (OpResult, error) {
+	before := db.Store.Stats().Disk.TransactionIOs()
+	start := time.Now()
+	n, err := op()
+	if err != nil {
+		return OpResult{}, err
+	}
+	if policy != nil {
+		policy.EndTransaction()
+	}
+	return OpResult{
+		Objects:  n,
+		IOs:      db.Store.Stats().Disk.TransactionIOs() - before,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// BenchResult aggregates the NRuns of one operation.
+type BenchResult struct {
+	Name     string
+	Runs     int
+	MeanIOs  float64
+	MeanTime time.Duration
+	Objects  int
+}
+
+// RunAll executes the full OO1 benchmark: Lookup, Traversal, Reverse
+// Traversal and Insert, each NRuns times, response time measured for each
+// run.
+func (db *Database) RunAll(policy cluster.Policy) ([]BenchResult, error) {
+	type opdef struct {
+		name string
+		op   func() (OpResult, error)
+	}
+	ops := []opdef{
+		{"lookup", func() (OpResult, error) { return db.Lookup(policy) }},
+		{"traversal", func() (OpResult, error) { return db.Traversal(policy, false) }},
+		{"reverse-traversal", func() (OpResult, error) { return db.Traversal(policy, true) }},
+		{"insert", func() (OpResult, error) { return db.Insert(policy) }},
+	}
+	var out []BenchResult
+	for _, od := range ops {
+		agg := BenchResult{Name: od.name, Runs: db.P.NRuns}
+		var ios uint64
+		var dur time.Duration
+		for r := 0; r < db.P.NRuns; r++ {
+			res, err := od.op()
+			if err != nil {
+				return nil, fmt.Errorf("oo1: %s run %d: %w", od.name, r, err)
+			}
+			ios += res.IOs
+			dur += res.Duration
+			agg.Objects += res.Objects
+		}
+		agg.MeanIOs = float64(ios) / float64(db.P.NRuns)
+		agg.MeanTime = dur / time.Duration(db.P.NRuns)
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// AllOIDs enumerates parts then connections, the order whole-database
+// clustering policies relocate in.
+func (db *Database) AllOIDs() []store.OID {
+	out := make([]store.OID, 0, len(db.Parts)+len(db.Conns))
+	for i := 1; i <= db.NumParts(); i++ {
+		out = append(out, db.ByID[i])
+	}
+	for oid := range db.Conns {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// Check verifies the database invariants: every part has exactly
+// ConnsPerPart outgoing connections, connection endpoints exist, and In
+// lists mirror Out lists.
+func Check(db *Database) error {
+	if len(db.Parts) != db.NumParts() {
+		return fmt.Errorf("oo1: dictionary holds %d parts, ByID %d", len(db.Parts), db.NumParts())
+	}
+	for i := 1; i <= db.NumParts(); i++ {
+		part := db.Parts[db.ByID[i]]
+		if part == nil {
+			return fmt.Errorf("oo1: part id %d missing", i)
+		}
+		if part.ID != i {
+			return fmt.Errorf("oo1: part id %d recorded as %d", i, part.ID)
+		}
+		if len(part.Out) != db.P.ConnsPerPart {
+			return fmt.Errorf("oo1: part %d has %d connections, want %d", i, len(part.Out), db.P.ConnsPerPart)
+		}
+		for _, coid := range part.Out {
+			conn, ok := db.Conns[coid]
+			if !ok {
+				return fmt.Errorf("oo1: part %d has dangling connection %d", i, coid)
+			}
+			if conn.From != part.OID {
+				return fmt.Errorf("oo1: connection %d From mismatch", coid)
+			}
+			target, ok := db.Parts[conn.To]
+			if !ok {
+				return fmt.Errorf("oo1: connection %d To is not a part", coid)
+			}
+			found := false
+			for _, in := range target.In {
+				if in == coid {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("oo1: connection %d missing from target's In list", coid)
+			}
+		}
+		if !db.Store.Exists(part.OID) {
+			return fmt.Errorf("oo1: part %d not stored", i)
+		}
+	}
+	return nil
+}

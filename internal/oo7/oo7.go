@@ -1,0 +1,749 @@
+// Package oo7 implements the OO7 benchmark (Carey, DeWitt & Naughton,
+// 1993/94) described in Section 2.3 of the OCB paper, on the shared store
+// substrate.
+//
+// The database is the OO7 design library: a module with an assembly
+// hierarchy (complex assemblies of fan-out 3 over AssmLevels levels; the
+// leaves are base assemblies), each base assembly referencing CompPerAssm
+// composite parts from a shared library of NumComp composite parts. A
+// composite part owns a documentation object and a graph of NumAtomic
+// atomic parts wired by connection objects (each atomic part has
+// ConnPerAtomic outgoing connections to atomic parts of the same
+// composite).
+//
+// The workload implements the benchmark's three operation groups:
+//
+//   - Traversals: T1 (raw full traversal), T2a/T2b (traversal with update
+//     of one/all atomic parts per composite), T3a (traversal updating the
+//     build date), T6 (sparse traversal touching only root atomic parts).
+//   - Queries: Q1 (exact-match lookup of 10 random atomic parts), Q2/Q3
+//     (1% and 10% build-date range scans), Q4 (documents by title plus
+//     owning composite root), Q5 (base assemblies whose composite parts
+//     are newer than the assembly), Q7 (full atomic-part scan).
+//   - Structural modifications: Insert (new composite parts wired to
+//     random base assemblies) and Delete (remove them again).
+package oo7
+
+import (
+	"fmt"
+	"time"
+
+	"ocb/internal/buffer"
+	"ocb/internal/cluster"
+	"ocb/internal/lewis"
+	"ocb/internal/store"
+)
+
+// Params sizes the OO7 database ("small" configuration by default).
+type Params struct {
+	// NumComp is the number of composite parts in the library.
+	// Default 500 (small).
+	NumComp int
+	// NumAtomic is the number of atomic parts per composite. Default 20.
+	NumAtomic int
+	// ConnPerAtomic is the out-degree of each atomic part. Default 3.
+	ConnPerAtomic int
+	// AssmLevels is the depth of the assembly hierarchy. Default 7.
+	AssmLevels int
+	// AssmFanout is the fan-out of complex assemblies. Default 3.
+	AssmFanout int
+	// CompPerAssm is the number of composite parts each base assembly
+	// references. Default 3.
+	CompPerAssm int
+	// AtomicSize, ConnSize, CompSize, AssmSize, DocSize are payload sizes.
+	// Defaults 100, 50, 150, 100, 2000.
+	AtomicSize, ConnSize, CompSize, AssmSize, DocSize int
+	// DateRange is the build-date attribute domain. Default 100000.
+	DateRange int
+
+	PageSize    int
+	BufferPages int
+	Policy      buffer.Policy
+	Seed        int64
+}
+
+// DefaultParams returns the OO7 small configuration.
+func DefaultParams() Params {
+	return Params{
+		NumComp:       500,
+		NumAtomic:     20,
+		ConnPerAtomic: 3,
+		AssmLevels:    7,
+		AssmFanout:    3,
+		CompPerAssm:   3,
+		AtomicSize:    100,
+		ConnSize:      50,
+		CompSize:      150,
+		AssmSize:      100,
+		DocSize:       2000,
+		DateRange:     100000,
+		PageSize:      4096,
+		BufferPages:   512,
+		Seed:          1993,
+	}
+}
+
+// Validate reports the first bad parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.NumComp < 1 || p.NumAtomic < 1 || p.ConnPerAtomic < 0:
+		return fmt.Errorf("oo7: bad composite shape")
+	case p.AssmLevels < 1 || p.AssmFanout < 1 || p.CompPerAssm < 1:
+		return fmt.Errorf("oo7: bad assembly shape")
+	case p.AtomicSize < 0 || p.ConnSize < 0 || p.CompSize < 0 || p.AssmSize < 0 || p.DocSize < 0:
+		return fmt.Errorf("oo7: negative size")
+	case p.DateRange < 1:
+		return fmt.Errorf("oo7: DateRange = %d", p.DateRange)
+	}
+	return nil
+}
+
+// AtomicPart is a node of a composite part's graph.
+type AtomicPart struct {
+	OID       store.OID
+	ID        int // dense id across the database
+	BuildDate int
+	Comp      int         // owning composite (index into Comps)
+	Out       []store.OID // connection objects
+	In        []store.OID
+}
+
+// Connection wires two atomic parts.
+type Connection struct {
+	OID      store.OID
+	From, To store.OID
+}
+
+// Document is a composite part's documentation.
+type Document struct {
+	OID   store.OID
+	Title int // synthetic title key
+	Comp  int
+}
+
+// CompositePart is a library element.
+type CompositePart struct {
+	OID       store.OID
+	ID        int
+	BuildDate int
+	Root      store.OID   // root atomic part
+	Atomics   []store.OID // all atomic parts
+	Doc       store.OID
+	UsedBy    []store.OID // base assemblies referencing this composite
+}
+
+// Assembly is a node of the assembly hierarchy.
+type Assembly struct {
+	OID       store.OID
+	ID        int
+	Level     int
+	BuildDate int
+	Parent    store.OID
+	// Sub holds child assemblies for complex assemblies; Comps holds the
+	// composite references for base assemblies.
+	Sub   []store.OID
+	Comps []store.OID
+}
+
+// Database is a generated OO7 object base.
+type Database struct {
+	P     Params
+	Store *store.Store
+
+	Comps    []*CompositePart // dense, index = ID
+	compIdx  map[store.OID]int
+	Atomics  map[store.OID]*AtomicPart
+	AtomicID []store.OID // dense id -> OID
+	Conns    map[store.OID]*Connection
+	Docs     map[store.OID]*Document
+	Assms    map[store.OID]*Assembly
+	RootAssm store.OID
+	BaseAssm []store.OID
+
+	GenTime time.Duration
+	src     *lewis.Source
+}
+
+// Generate builds the OO7 database: the composite-part library first
+// (atomic graphs, connections, documents), then the assembly hierarchy.
+func Generate(p Params) (*Database, error) {
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := store.Open(store.Config{
+		PageSize:    p.PageSize,
+		BufferPages: p.BufferPages,
+		Policy:      p.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		P:       p,
+		Store:   st,
+		compIdx: make(map[store.OID]int),
+		Atomics: make(map[store.OID]*AtomicPart),
+		Conns:   make(map[store.OID]*Connection),
+		Docs:    make(map[store.OID]*Document),
+		Assms:   make(map[store.OID]*Assembly),
+		src:     lewis.New(p.Seed),
+	}
+
+	for i := 0; i < p.NumComp; i++ {
+		if _, err := db.newComposite(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Assembly hierarchy: levels 1..AssmLevels, level AssmLevels holds the
+	// base assemblies.
+	root, err := db.buildAssembly(1, store.NilOID)
+	if err != nil {
+		return nil, err
+	}
+	db.RootAssm = root
+
+	if err := st.Commit(); err != nil {
+		return nil, err
+	}
+	db.GenTime = time.Since(start)
+	st.ResetStats()
+	return db, nil
+}
+
+// newComposite creates one composite part: atomic graph, connections,
+// document.
+func (db *Database) newComposite() (*CompositePart, error) {
+	p := db.P
+	comp := &CompositePart{ID: len(db.Comps), BuildDate: db.src.Intn(p.DateRange)}
+
+	oid, err := db.Store.Create(p.CompSize)
+	if err != nil {
+		return nil, fmt.Errorf("oo7: composite: %w", err)
+	}
+	comp.OID = oid
+
+	atomics := make([]*AtomicPart, p.NumAtomic)
+	for i := range atomics {
+		aoid, err := db.Store.Create(p.AtomicSize)
+		if err != nil {
+			return nil, fmt.Errorf("oo7: atomic: %w", err)
+		}
+		a := &AtomicPart{
+			OID:       aoid,
+			ID:        len(db.AtomicID),
+			BuildDate: db.src.Intn(p.DateRange),
+			Comp:      comp.ID,
+		}
+		db.Atomics[aoid] = a
+		db.AtomicID = append(db.AtomicID, aoid)
+		atomics[i] = a
+		comp.Atomics = append(comp.Atomics, aoid)
+	}
+	comp.Root = atomics[0].OID
+	for _, a := range atomics {
+		for c := 0; c < p.ConnPerAtomic; c++ {
+			target := atomics[db.src.Intn(len(atomics))]
+			coid, err := db.Store.Create(p.ConnSize)
+			if err != nil {
+				return nil, fmt.Errorf("oo7: connection: %w", err)
+			}
+			conn := &Connection{OID: coid, From: a.OID, To: target.OID}
+			db.Conns[coid] = conn
+			a.Out = append(a.Out, coid)
+			target.In = append(target.In, coid)
+		}
+	}
+	doid, err := db.Store.Create(p.DocSize)
+	if err != nil {
+		return nil, fmt.Errorf("oo7: document: %w", err)
+	}
+	db.Docs[doid] = &Document{OID: doid, Title: comp.ID, Comp: comp.ID}
+	comp.Doc = doid
+
+	db.Comps = append(db.Comps, comp)
+	db.compIdx[comp.OID] = comp.ID
+	return comp, nil
+}
+
+// buildAssembly recursively creates the hierarchy below one assembly.
+func (db *Database) buildAssembly(level int, parent store.OID) (store.OID, error) {
+	p := db.P
+	oid, err := db.Store.Create(p.AssmSize)
+	if err != nil {
+		return store.NilOID, fmt.Errorf("oo7: assembly: %w", err)
+	}
+	a := &Assembly{
+		OID:       oid,
+		ID:        len(db.Assms) + 1,
+		Level:     level,
+		BuildDate: db.src.Intn(p.DateRange),
+		Parent:    parent,
+	}
+	db.Assms[oid] = a
+	if level == p.AssmLevels {
+		// Base assembly: reference CompPerAssm random composite parts.
+		for i := 0; i < p.CompPerAssm; i++ {
+			comp := db.Comps[db.src.Intn(len(db.Comps))]
+			a.Comps = append(a.Comps, comp.OID)
+			comp.UsedBy = append(comp.UsedBy, oid)
+		}
+		db.BaseAssm = append(db.BaseAssm, oid)
+		return oid, nil
+	}
+	for i := 0; i < p.AssmFanout; i++ {
+		sub, err := db.buildAssembly(level+1, oid)
+		if err != nil {
+			return store.NilOID, err
+		}
+		a.Sub = append(a.Sub, sub)
+	}
+	return oid, nil
+}
+
+// NumAtomics returns the atomic-part count.
+func (db *Database) NumAtomics() int { return len(db.AtomicID) }
+
+// OpResult is one operation's measurement.
+type OpResult struct {
+	Name     string
+	Objects  int
+	IOs      uint64
+	Duration time.Duration
+}
+
+// measure wraps an operation with I/O and time accounting.
+func (db *Database) measure(name string, policy cluster.Policy, op func() (int, error)) (OpResult, error) {
+	before := db.Store.Stats().Disk.TransactionIOs()
+	start := time.Now()
+	n, err := op()
+	if err != nil {
+		return OpResult{}, fmt.Errorf("oo7: %s: %w", name, err)
+	}
+	if policy != nil {
+		policy.EndTransaction()
+	}
+	return OpResult{
+		Name:     name,
+		Objects:  n,
+		IOs:      db.Store.Stats().Disk.TransactionIOs() - before,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// access faults an object and feeds the policy.
+func (db *Database) access(from, to store.OID, policy cluster.Policy) error {
+	if err := db.Store.Access(to); err != nil {
+		return err
+	}
+	if policy != nil {
+		if from == store.NilOID {
+			policy.ObserveRoot(to)
+		} else {
+			policy.ObserveLink(from, to)
+		}
+	}
+	return nil
+}
+
+// traverseComposite runs a DFS over a composite's atomic graph from its
+// root atomic part, visiting each atomic part once (OO7's T1 semantics).
+// update selects how many visited atomics are updated: 0 none, 1 the
+// root only (T2a), -1 all (T2b).
+func (db *Database) traverseComposite(comp *CompositePart, update int, policy cluster.Policy) (int, error) {
+	visited := make(map[store.OID]bool)
+	n := 0
+	var dfs func(aoid store.OID) error
+	dfs = func(aoid store.OID) error {
+		if visited[aoid] {
+			return nil
+		}
+		visited[aoid] = true
+		if err := db.access(comp.OID, aoid, policy); err != nil {
+			return err
+		}
+		n++
+		if update == -1 || (update == 1 && n == 1) {
+			if err := db.Store.Update(aoid); err != nil {
+				return err
+			}
+		}
+		a := db.Atomics[aoid]
+		for _, coid := range a.Out {
+			if err := db.access(aoid, coid, policy); err != nil {
+				return err
+			}
+			n++
+			conn := db.Conns[coid]
+			if err := dfs(conn.To); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := dfs(comp.Root)
+	return n, err
+}
+
+// traversal implements the shared skeleton of T1/T2/T3/T6.
+func (db *Database) traversal(name string, update int, sparse bool, policy cluster.Policy) (OpResult, error) {
+	return db.measure(name, policy, func() (int, error) {
+		n := 0
+		var walk func(aoid store.OID) error
+		walk = func(aoid store.OID) error {
+			a := db.Assms[aoid]
+			if err := db.access(a.Parent, aoid, policy); err != nil {
+				return err
+			}
+			n++
+			for _, sub := range a.Sub {
+				if err := walk(sub); err != nil {
+					return err
+				}
+			}
+			for _, compOID := range a.Comps {
+				comp := db.Comps[db.compByOID(compOID)]
+				if sparse {
+					// T6: visit the composite and its root atomic only.
+					if err := db.access(aoid, comp.OID, policy); err != nil {
+						return err
+					}
+					if err := db.access(comp.OID, comp.Root, policy); err != nil {
+						return err
+					}
+					n += 2
+					continue
+				}
+				if err := db.access(aoid, comp.OID, policy); err != nil {
+					return err
+				}
+				n++
+				m, err := db.traverseComposite(comp, update, policy)
+				n += m
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(db.RootAssm); err != nil {
+			return n, err
+		}
+		if update != 0 {
+			return n, db.Store.Commit()
+		}
+		return n, nil
+	})
+}
+
+// compByOID maps a composite OID back to its index.
+func (db *Database) compByOID(oid store.OID) int {
+	if i, ok := db.compIdx[oid]; ok {
+		return i
+	}
+	return -1
+}
+
+// T1 is the raw full traversal.
+func (db *Database) T1(policy cluster.Policy) (OpResult, error) {
+	return db.traversal("T1", 0, false, policy)
+}
+
+// T2a is T1 updating one atomic part per visited composite.
+func (db *Database) T2a(policy cluster.Policy) (OpResult, error) {
+	return db.traversal("T2a", 1, false, policy)
+}
+
+// T2b is T1 updating every visited atomic part.
+func (db *Database) T2b(policy cluster.Policy) (OpResult, error) {
+	return db.traversal("T2b", -1, false, policy)
+}
+
+// T3a is T1 updating the build date of one atomic part per composite
+// (mechanically T2a over the date attribute).
+func (db *Database) T3a(policy cluster.Policy) (OpResult, error) {
+	return db.traversal("T3a", 1, false, policy)
+}
+
+// T6 is the sparse traversal: assemblies, composites and root atomic
+// parts only.
+func (db *Database) T6(policy cluster.Policy) (OpResult, error) {
+	return db.traversal("T6", 0, true, policy)
+}
+
+// Q1 looks up 10 random atomic parts by id.
+func (db *Database) Q1(policy cluster.Policy) (OpResult, error) {
+	return db.measure("Q1", policy, func() (int, error) {
+		n := 0
+		for i := 0; i < 10; i++ {
+			oid := db.AtomicID[db.src.Intn(len(db.AtomicID))]
+			if err := db.access(store.NilOID, oid, policy); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	})
+}
+
+// rangeQuery scans atomic parts whose build date falls in a window
+// covering frac of the domain.
+func (db *Database) rangeQuery(name string, frac float64, policy cluster.Policy) (OpResult, error) {
+	return db.measure(name, policy, func() (int, error) {
+		width := int(float64(db.P.DateRange) * frac)
+		lo := db.src.Intn(db.P.DateRange - width + 1)
+		hi := lo + width
+		n := 0
+		for _, oid := range db.AtomicID {
+			a := db.Atomics[oid]
+			if a.BuildDate < lo || a.BuildDate >= hi {
+				continue
+			}
+			if err := db.access(store.NilOID, oid, policy); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	})
+}
+
+// Q2 is the 1% build-date range query.
+func (db *Database) Q2(policy cluster.Policy) (OpResult, error) {
+	return db.rangeQuery("Q2", 0.01, policy)
+}
+
+// Q3 is the 10% build-date range query.
+func (db *Database) Q3(policy cluster.Policy) (OpResult, error) {
+	return db.rangeQuery("Q3", 0.10, policy)
+}
+
+// Q4 fetches 10 random documents by title and the root atomic part of
+// each owning composite.
+func (db *Database) Q4(policy cluster.Policy) (OpResult, error) {
+	return db.measure("Q4", policy, func() (int, error) {
+		n := 0
+		for i := 0; i < 10; i++ {
+			comp := db.Comps[db.src.Intn(len(db.Comps))]
+			if err := db.access(store.NilOID, comp.Doc, policy); err != nil {
+				return n, err
+			}
+			if err := db.access(comp.Doc, comp.Root, policy); err != nil {
+				return n, err
+			}
+			n += 2
+		}
+		return n, nil
+	})
+}
+
+// Q5 finds base assemblies using a composite part with a build date later
+// than the assembly's.
+func (db *Database) Q5(policy cluster.Policy) (OpResult, error) {
+	return db.measure("Q5", policy, func() (int, error) {
+		n := 0
+		for _, boid := range db.BaseAssm {
+			b := db.Assms[boid]
+			if err := db.access(store.NilOID, boid, policy); err != nil {
+				return n, err
+			}
+			n++
+			for _, compOID := range b.Comps {
+				comp := db.Comps[db.compByOID(compOID)]
+				if err := db.access(boid, compOID, policy); err != nil {
+					return n, err
+				}
+				n++
+				_ = comp.BuildDate > b.BuildDate // the predicate result set
+			}
+		}
+		return n, nil
+	})
+}
+
+// Q7 scans every atomic part.
+func (db *Database) Q7(policy cluster.Policy) (OpResult, error) {
+	return db.measure("Q7", policy, func() (int, error) {
+		n := 0
+		for _, oid := range db.AtomicID {
+			if err := db.access(store.NilOID, oid, policy); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	})
+}
+
+// Insert creates count new composite parts and wires each into ten random
+// base assemblies, then commits. It returns the new composites' ids.
+func (db *Database) Insert(count int, policy cluster.Policy) ([]int, OpResult, error) {
+	var ids []int
+	res, err := db.measure("Insert", policy, func() (int, error) {
+		n := 0
+		for i := 0; i < count; i++ {
+			comp, err := db.newComposite()
+			if err != nil {
+				return n, err
+			}
+			ids = append(ids, comp.ID)
+			n += 1 + len(comp.Atomics) + len(comp.Atomics)*db.P.ConnPerAtomic + 1
+			for k := 0; k < 10 && k < len(db.BaseAssm); k++ {
+				boid := db.BaseAssm[db.src.Intn(len(db.BaseAssm))]
+				b := db.Assms[boid]
+				b.Comps = append(b.Comps, comp.OID)
+				comp.UsedBy = append(comp.UsedBy, boid)
+				if err := db.Store.Update(boid); err != nil {
+					return n, err
+				}
+			}
+		}
+		return n, db.Store.Commit()
+	})
+	return ids, res, err
+}
+
+// Delete removes the given composite parts (their atomics, connections
+// and documents) and unwires them from assemblies, then commits.
+func (db *Database) Delete(ids []int, policy cluster.Policy) (OpResult, error) {
+	return db.measure("Delete", policy, func() (int, error) {
+		n := 0
+		for _, id := range ids {
+			if id < 0 || id >= len(db.Comps) || db.Comps[id] == nil {
+				return n, fmt.Errorf("no composite %d", id)
+			}
+			comp := db.Comps[id]
+			for _, aoid := range comp.Atomics {
+				a := db.Atomics[aoid]
+				for _, coid := range a.Out {
+					if db.Conns[coid] == nil {
+						continue
+					}
+					delete(db.Conns, coid)
+					if err := db.Store.Delete(coid); err != nil {
+						return n, err
+					}
+					n++
+				}
+				delete(db.Atomics, aoid)
+				if err := db.Store.Delete(aoid); err != nil {
+					return n, err
+				}
+				n++
+			}
+			delete(db.Docs, comp.Doc)
+			if err := db.Store.Delete(comp.Doc); err != nil {
+				return n, err
+			}
+			n++
+			for _, boid := range comp.UsedBy {
+				b := db.Assms[boid]
+				var kept []store.OID
+				for _, c := range b.Comps {
+					if c != comp.OID {
+						kept = append(kept, c)
+					}
+				}
+				b.Comps = kept
+				if err := db.Store.Update(boid); err != nil {
+					return n, err
+				}
+			}
+			if err := db.Store.Delete(comp.OID); err != nil {
+				return n, err
+			}
+			n++
+			db.Comps[id] = nil
+		}
+		return n, db.Store.Commit()
+	})
+}
+
+// RunAll executes the read-only suite (traversals and queries) once each.
+func (db *Database) RunAll(policy cluster.Policy) ([]OpResult, error) {
+	ops := []func(cluster.Policy) (OpResult, error){
+		db.T1, db.T2a, db.T2b, db.T3a, db.T6, db.T8, db.T9,
+		db.Q1, db.Q2, db.Q3, db.Q4, db.Q5, db.Q7, db.Q8,
+	}
+	var out []OpResult
+	for _, op := range ops {
+		r, err := op(policy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Check verifies structural invariants of the generated database.
+func Check(db *Database) error {
+	p := db.P
+	wantBase := 1
+	for i := 1; i < p.AssmLevels; i++ {
+		wantBase *= p.AssmFanout
+	}
+	if len(db.BaseAssm) != wantBase {
+		return fmt.Errorf("oo7: %d base assemblies, want %d", len(db.BaseAssm), wantBase)
+	}
+	wantAssms := 0
+	c := 1
+	for l := 1; l <= p.AssmLevels; l++ {
+		wantAssms += c
+		c *= p.AssmFanout
+	}
+	if len(db.Assms) != wantAssms {
+		return fmt.Errorf("oo7: %d assemblies, want %d", len(db.Assms), wantAssms)
+	}
+	liveComps := 0
+	for _, comp := range db.Comps {
+		if comp != nil {
+			liveComps++
+		}
+	}
+	if len(db.Atomics) != liveComps*p.NumAtomic {
+		return fmt.Errorf("oo7: %d live atomics, want %d", len(db.Atomics), liveComps*p.NumAtomic)
+	}
+	for _, comp := range db.Comps {
+		if comp == nil {
+			continue
+		}
+		if len(comp.Atomics) != p.NumAtomic {
+			return fmt.Errorf("oo7: composite %d has %d atomics", comp.ID, len(comp.Atomics))
+		}
+		if comp.Root != comp.Atomics[0] {
+			return fmt.Errorf("oo7: composite %d root mismatch", comp.ID)
+		}
+		if _, ok := db.Docs[comp.Doc]; !ok {
+			return fmt.Errorf("oo7: composite %d lost its document", comp.ID)
+		}
+		// Connections stay within the composite.
+		for _, aoid := range comp.Atomics {
+			a := db.Atomics[aoid]
+			if a == nil {
+				return fmt.Errorf("oo7: composite %d has dangling atomic", comp.ID)
+			}
+			for _, coid := range a.Out {
+				conn := db.Conns[coid]
+				if conn == nil {
+					return fmt.Errorf("oo7: atomic %d dangling connection", a.ID)
+				}
+				ta := db.Atomics[conn.To]
+				if ta == nil || ta.Comp != comp.ID {
+					return fmt.Errorf("oo7: connection escapes composite %d", comp.ID)
+				}
+			}
+		}
+	}
+	for _, boid := range db.BaseAssm {
+		b := db.Assms[boid]
+		if b.Level != p.AssmLevels {
+			return fmt.Errorf("oo7: base assembly at level %d", b.Level)
+		}
+		if len(b.Comps) < p.CompPerAssm {
+			return fmt.Errorf("oo7: base assembly with %d composites", len(b.Comps))
+		}
+	}
+	return nil
+}

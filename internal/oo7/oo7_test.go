@@ -1,0 +1,295 @@
+package oo7
+
+import (
+	"testing"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.NumComp = 20
+	p.NumAtomic = 5
+	p.AssmLevels = 3
+	p.BufferPages = 32
+	return p
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := smallParams()
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(db); err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 3 + 9 assemblies; 9 base.
+	if len(db.Assms) != 13 || len(db.BaseAssm) != 9 {
+		t.Fatalf("assemblies = %d, base = %d", len(db.Assms), len(db.BaseAssm))
+	}
+	if db.NumAtomics() != p.NumComp*p.NumAtomic {
+		t.Fatalf("atomics = %d", db.NumAtomics())
+	}
+	if len(db.Docs) != p.NumComp {
+		t.Fatalf("documents = %d", len(db.Docs))
+	}
+	if db.GenTime <= 0 {
+		t.Fatal("generation time missing")
+	}
+}
+
+func TestT1VisitsEveryReferencedAtomicOnce(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.T1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum: all 13 assemblies + for each of the 9 base assemblies,
+	// 3 composites with 5 atomics each (plus connection objects).
+	if res.Objects < 13+9*3*(1+5) {
+		t.Fatalf("T1 accessed only %d objects", res.Objects)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("duration missing")
+	}
+}
+
+func TestT6SparserThanT1(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := db.T1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := db.T6(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t6.Objects >= t1.Objects {
+		t.Fatalf("T6 (%d) not sparser than T1 (%d)", t6.Objects, t1.Objects)
+	}
+}
+
+func TestT2UpdatesCommit(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Store.ResetStats()
+	if _, err := db.T2a(nil); err != nil {
+		t.Fatal(err)
+	}
+	w1 := db.Store.Stats().Disk.TotalWrites()
+	if w1 == 0 {
+		t.Fatal("T2a committed nothing")
+	}
+	if _, err := db.T2b(nil); err != nil {
+		t.Fatal(err)
+	}
+	w2 := db.Store.Stats().Disk.TotalWrites()
+	if w2 <= w1 {
+		t.Fatal("T2b (update all) wrote no more than T2a (update one)")
+	}
+	if _, err := db.T3a(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := db.Q1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Objects != 10 {
+		t.Fatalf("Q1 accessed %d, want 10", q1.Objects)
+	}
+	q2, err := db.Q2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := db.Q3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q3 (10% selectivity) must select roughly 10x Q2 (1%); with a 100
+	// atomic-part database sampling noise is large, so just require more.
+	if q3.Objects <= q2.Objects {
+		t.Fatalf("Q3 (%d) not broader than Q2 (%d)", q3.Objects, q2.Objects)
+	}
+	q4, err := db.Q4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q4.Objects != 20 {
+		t.Fatalf("Q4 accessed %d, want 20 (10 docs + 10 roots)", q4.Objects)
+	}
+	q5, err := db.Q5(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q5.Objects < len(db.BaseAssm) {
+		t.Fatalf("Q5 accessed %d", q5.Objects)
+	}
+	q7, err := db.Q7(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q7.Objects != db.NumAtomics() {
+		t.Fatalf("Q7 accessed %d, want %d", q7.Objects, db.NumAtomics())
+	}
+}
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectsBefore := db.Store.NumObjects()
+	atomicsBefore := db.NumAtomics()
+
+	ids, res, err := db.Insert(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("inserted %d composites", len(ids))
+	}
+	if res.IOs == 0 {
+		t.Fatal("insert committed no I/O")
+	}
+	if db.Store.NumObjects() <= objectsBefore {
+		t.Fatal("store did not grow")
+	}
+	if err := Check(db); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := db.Delete(ids, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.Store.NumObjects() != objectsBefore {
+		t.Fatalf("store objects = %d, want %d after delete", db.Store.NumObjects(), objectsBefore)
+	}
+	// AtomicID keeps dense history; live atomics map must be back to size.
+	if len(db.Atomics) != atomicsBefore {
+		t.Fatalf("live atomics = %d, want %d", len(db.Atomics), atomicsBefore)
+	}
+	// Deleting again must fail cleanly.
+	if _, err := db.Delete(ids, nil); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := db.RunAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("got %d operations", len(results))
+	}
+	for _, r := range results {
+		if r.Name == "" {
+			t.Fatalf("bad result %+v", r)
+		}
+		// Selective range queries (Q2 at 1%) may legitimately match zero
+		// atomics on a 100-atomic test database; everything else touches
+		// at least one object.
+		if r.Objects < 1 && r.Name != "Q2" && r.Name != "Q3" {
+			t.Fatalf("%s accessed nothing", r.Name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.NumComp = 0 },
+		func(p *Params) { p.NumAtomic = 0 },
+		func(p *Params) { p.ConnPerAtomic = -1 },
+		func(p *Params) { p.AssmLevels = 0 },
+		func(p *Params) { p.AssmFanout = 0 },
+		func(p *Params) { p.CompPerAssm = 0 },
+		func(p *Params) { p.DocSize = -1 },
+		func(p *Params) { p.DateRange = 0 },
+	}
+	for i, f := range bad {
+		p := DefaultParams()
+		f(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ca := range a.Comps {
+		cb := b.Comps[i]
+		if ca.BuildDate != cb.BuildDate || ca.Root != cb.Root {
+			t.Fatalf("composite %d differs", i)
+		}
+	}
+	if a.RootAssm != b.RootAssm {
+		t.Fatal("assembly roots differ")
+	}
+}
+
+func TestDocumentOperations(t *testing.T) {
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := db.T8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8.Objects != 1 {
+		t.Fatalf("T8 accessed %d, want 1 document", t8.Objects)
+	}
+	t9, err := db.T9(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t9.Objects != len(db.Docs) {
+		t.Fatalf("T9 accessed %d, want %d documents", t9.Objects, len(db.Docs))
+	}
+	q8, err := db.Q8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(db.Docs) * (1 + db.P.NumAtomic)
+	if q8.Objects != want {
+		t.Fatalf("Q8 accessed %d, want %d (docs joined with atomics)", q8.Objects, want)
+	}
+	// Documents are 2000 bytes: T9 over 20 composites touches 20 distinct
+	// documents, each on its own page region.
+	if t9.IOs == 0 {
+		db.Store.DropCache()
+		t9b, err := db.T9(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t9b.IOs == 0 {
+			t.Fatal("document scan performed no I/O even from cold cache")
+		}
+	}
+}

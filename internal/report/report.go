@@ -1,0 +1,152 @@
+// Package report renders the benchmark's result tables as aligned text
+// (the paper-style tables the experiment harness prints) or CSV.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Notes   []string
+	rows    [][]string
+}
+
+// New returns an empty table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Cell returns the cell at (row, col), or "" out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.Headers) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	total := len(t.Headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as CSV (headers first; notes omitted).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Int formats an integer cell.
+func Int(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64 cell.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// U64 formats a uint64 cell.
+func U64(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// F1 and F2 format floats with one / two decimals.
+func F1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// Dur formats a duration rounded for human consumption.
+func Dur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
+	}
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	tb.AddNote("a note")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "Name") || !strings.Contains(out, "Value") {
+		t.Fatal("headers missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and rows share column starts.
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "Name") {
+			header = l
+		}
+		if strings.HasPrefix(l, "alpha") {
+			row = l
+		}
+	}
+	if header == "" || row == "" {
+		t.Fatalf("output missing lines:\n%s", out)
+	}
+	if strings.Index(header, "Value") != strings.Index(row, "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "A", "B", "C")
+	tb.AddRow("only")
+	if tb.Cell(0, 1) != "" || tb.Cell(0, 2) != "" {
+		t.Fatal("padding missing")
+	}
+	if tb.Cell(9, 0) != "" || tb.Cell(0, 9) != "" {
+		t.Fatal("out-of-range cell not empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("T", "x", "y")
+	tb.AddRow("1", "2")
+	tb.AddRow("a,b", "c\"d")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("csv quoting wrong: %q", out)
+	}
+}
+
+func TestRowsCopy(t *testing.T) {
+	tb := New("T", "x")
+	tb.AddRow("v")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Cell(0, 0) != "v" {
+		t.Fatal("Rows() exposed internal state")
+	}
+	if tb.NumRows() != 1 {
+		t.Fatal("NumRows wrong")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Int(5) != "5" || I64(-2) != "-2" || U64(7) != "7" {
+		t.Fatal("int formatters wrong")
+	}
+	if F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Fatalf("F1 = %s", F1(1.25))
+	}
+	if F2(2.345) != "2.35" && F2(2.345) != "2.34" {
+		t.Fatalf("F2 = %s", F2(2.345))
+	}
+	if Dur(1500*time.Millisecond) == "" || Dur(5*time.Microsecond) == "" || Dur(30*time.Nanosecond) == "" {
+		t.Fatal("Dur empty")
+	}
+}

@@ -1,0 +1,204 @@
+// Package sim is the simulation side of OCB the paper announces in
+// Section 5: "we also plan to integrate OCB into simulation models, in
+// order to benefit from the advantages of simulation (platform
+// independence, a priori modeling of non-implemented research prototypes,
+// low cost)". The authors ported OCB to the QNAP2 queueing-network tool;
+// this package provides the equivalent discrete-event model in Go.
+//
+// The model is the paper's testbed reduced to a queueing network: CLIENTN
+// client processes cycle through think time, a CPU burst proportional to
+// the objects a transaction touches, and a disk burst proportional to the
+// page I/Os it performs. CPU and disk are single FCFS servers (one
+// SPARC/ELC processor, one disk arm). Transaction demands come from the
+// *measured* workload — the benchmark executes for real against the store
+// and feeds its exact per-transaction object/I/O counts into the
+// simulation — so the simulated clock reflects placement quality while
+// staying completely platform-independent.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"ocb/internal/stats"
+)
+
+// Params are the hardware constants of the simulated testbed. Defaults
+// approximate the paper's 1992 Sun SPARC/ELC with a local SCSI disk.
+type Params struct {
+	// DiskServiceTime is the service time of one 4 KB page I/O.
+	// Default 15ms (seek + rotation + transfer on a early-90s disk).
+	DiskServiceTime time.Duration
+	// CPUPerObject is the processor cost of visiting one object
+	// (pointer swizzling, comparisons). Default 40µs.
+	CPUPerObject time.Duration
+	// Think is the client latency between transactions (OCB's THINK).
+	Think time.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.DiskServiceTime <= 0 {
+		p.DiskServiceTime = 15 * time.Millisecond
+	}
+	if p.CPUPerObject <= 0 {
+		p.CPUPerObject = 40 * time.Microsecond
+	}
+	return p
+}
+
+// Demand is one transaction's resource consumption, as measured by the
+// real benchmark run: objects accessed (CPU) and page I/Os (disk).
+type Demand struct {
+	Objects int
+	IOs     uint64
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Clients is the number of client processes.
+	Clients int
+	// Transactions is the total number of simulated transactions.
+	Transactions int
+	// Makespan is the simulated time until the last completion.
+	Makespan time.Duration
+	// Response accumulates per-transaction response times (seconds).
+	Response stats.Welford
+	// CPUBusy and DiskBusy are the servers' total busy times.
+	CPUBusy, DiskBusy time.Duration
+	// Throughput is transactions per simulated second.
+	Throughput float64
+}
+
+// CPUUtilization returns the CPU's busy fraction.
+func (r *Result) CPUUtilization() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.CPUBusy) / float64(r.Makespan)
+}
+
+// DiskUtilization returns the disk's busy fraction.
+func (r *Result) DiskUtilization() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.DiskBusy) / float64(r.Makespan)
+}
+
+// event is a pending simulation event.
+type event struct {
+	at     time.Duration
+	seq    int // tie-breaker for determinism
+	client int
+	kind   eventKind
+}
+
+type eventKind int
+
+const (
+	evArrive  eventKind = iota // client ready to start its next transaction
+	evCPUDone                  // CPU burst finished, disk burst next
+	evIODone                   // disk burst finished, transaction complete
+)
+
+// eventHeap is a deterministic min-heap over (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() (event, bool) {
+	if h.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(h).(event), true
+}
+
+// server is a single FCFS resource.
+type server struct {
+	freeAt time.Duration
+	busy   time.Duration
+}
+
+// serve enqueues a demand arriving at t and returns its completion time.
+func (s *server) serve(t, demand time.Duration) time.Duration {
+	start := t
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	s.freeAt = start + demand
+	s.busy += demand
+	return s.freeAt
+}
+
+// Simulate runs the queueing model: each client executes its own demand
+// stream (one slice per client), cycling arrive -> CPU -> disk -> think.
+// The function is deterministic.
+func Simulate(p Params, perClient [][]Demand) (*Result, error) {
+	p = p.withDefaults()
+	if len(perClient) == 0 {
+		return nil, fmt.Errorf("sim: no clients")
+	}
+
+	res := &Result{Clients: len(perClient)}
+	var cpu, disk server
+	var events eventHeap
+	seq := 0
+	next := make([]int, len(perClient))              // per-client position in its stream
+	txStart := make([]time.Duration, len(perClient)) // current transaction's arrival
+
+	push := func(at time.Duration, client int, kind eventKind) {
+		events.push(event{at: at, seq: seq, client: client, kind: kind})
+		seq++
+	}
+	for c := range perClient {
+		if len(perClient[c]) > 0 {
+			push(0, c, evArrive)
+		}
+	}
+
+	var now time.Duration
+	for {
+		e, ok := events.pop()
+		if !ok {
+			break
+		}
+		now = e.at
+		c := e.client
+		switch e.kind {
+		case evArrive:
+			txStart[c] = now
+			d := perClient[c][next[c]]
+			burst := time.Duration(d.Objects) * p.CPUPerObject
+			push(cpu.serve(now, burst), c, evCPUDone)
+		case evCPUDone:
+			d := perClient[c][next[c]]
+			burst := time.Duration(d.IOs) * p.DiskServiceTime
+			push(disk.serve(now, burst), c, evIODone)
+		case evIODone:
+			res.Transactions++
+			res.Response.Add((now - txStart[c]).Seconds())
+			next[c]++
+			if next[c] < len(perClient[c]) {
+				push(now+p.Think, c, evArrive)
+			}
+		}
+	}
+
+	res.Makespan = now
+	res.CPUBusy = cpu.busy
+	res.DiskBusy = disk.busy
+	if now > 0 {
+		res.Throughput = float64(res.Transactions) / now.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSingleClientNoContention(t *testing.T) {
+	p := Params{DiskServiceTime: 10 * time.Millisecond, CPUPerObject: 1 * time.Millisecond}
+	demands := [][]Demand{{
+		{Objects: 5, IOs: 2},
+		{Objects: 10, IOs: 0},
+	}}
+	res, err := Simulate(p, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 2 {
+		t.Fatalf("transactions = %d", res.Transactions)
+	}
+	// tx1: 5ms CPU + 20ms disk = 25ms; tx2: 10ms CPU.
+	want := 35 * time.Millisecond
+	if res.Makespan != want {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+	// Mean response = (25 + 10)/2 ms.
+	if got := res.Response.Mean(); math.Abs(got-0.0175) > 1e-9 {
+		t.Fatalf("mean response = %v, want 0.0175", got)
+	}
+	if res.CPUBusy != 15*time.Millisecond || res.DiskBusy != 20*time.Millisecond {
+		t.Fatalf("busy = %v / %v", res.CPUBusy, res.DiskBusy)
+	}
+}
+
+func TestThinkTimeSeparatesTransactions(t *testing.T) {
+	p := Params{DiskServiceTime: time.Millisecond, CPUPerObject: time.Millisecond, Think: 100 * time.Millisecond}
+	demands := [][]Demand{{{Objects: 1, IOs: 1}, {Objects: 1, IOs: 1}}}
+	res, err := Simulate(p, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2ms + 100ms think + 2ms.
+	if res.Makespan != 104*time.Millisecond {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	// Think time is not part of response time.
+	if got := res.Response.Mean(); math.Abs(got-0.002) > 1e-9 {
+		t.Fatalf("mean response = %v", got)
+	}
+}
+
+func TestContentionSlowsClients(t *testing.T) {
+	p := Params{DiskServiceTime: 10 * time.Millisecond, CPUPerObject: time.Microsecond}
+	one := [][]Demand{{{Objects: 1, IOs: 5}}}
+	two := [][]Demand{{{Objects: 1, IOs: 5}}, {{Objects: 1, IOs: 5}}}
+	alone, err := Simulate(p, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Simulate(p, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Response.Max() <= alone.Response.Max() {
+		t.Fatalf("no queueing delay: alone %v, shared %v",
+			alone.Response.Max(), shared.Response.Max())
+	}
+	// The disk serializes: makespan = 2 x 50ms disk (CPU overlaps).
+	if shared.Makespan < 100*time.Millisecond {
+		t.Fatalf("makespan = %v, want >= 100ms", shared.Makespan)
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	p := Params{DiskServiceTime: 10 * time.Millisecond, CPUPerObject: 10 * time.Millisecond}
+	res, err := Simulate(p, [][]Demand{{{Objects: 1, IOs: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict alternation: each server busy half the makespan.
+	if u := res.CPUUtilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("cpu utilization = %v", u)
+	}
+	if u := res.DiskUtilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("disk utilization = %v", u)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput missing")
+	}
+}
+
+func TestNoClients(t *testing.T) {
+	if _, err := Simulate(Params{}, nil); err == nil {
+		t.Fatal("empty simulation accepted")
+	}
+}
+
+func TestEmptyStreamsAreFine(t *testing.T) {
+	res, err := Simulate(Params{}, [][]Demand{{}, {{Objects: 1, IOs: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 1 {
+		t.Fatalf("transactions = %d", res.Transactions)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{}
+	demands := [][]Demand{
+		{{Objects: 3, IOs: 2}, {Objects: 1, IOs: 9}},
+		{{Objects: 7, IOs: 1}, {Objects: 2, IOs: 2}},
+		{{Objects: 5, IOs: 5}},
+	}
+	a, err := Simulate(p, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Response.Mean() != b.Response.Mean() {
+		t.Fatal("nondeterministic simulation")
+	}
+}
+
+// TestMakespanBounds property-checks the fundamental queueing bounds:
+// makespan is at least the bottleneck server's total demand and at most
+// the serialized total demand (per-client demand chains never overlap
+// with themselves).
+func TestMakespanBounds(t *testing.T) {
+	p := Params{DiskServiceTime: time.Millisecond, CPUPerObject: time.Millisecond}
+	f := func(raw [][]uint8) bool {
+		var streams [][]Demand
+		for _, cs := range raw {
+			var stream []Demand
+			for _, v := range cs {
+				stream = append(stream, Demand{Objects: int(v % 16), IOs: uint64(v % 7)})
+			}
+			if len(stream) > 0 {
+				streams = append(streams, stream)
+			}
+		}
+		if len(streams) == 0 {
+			return true
+		}
+		res, err := Simulate(p, streams)
+		if err != nil {
+			return false
+		}
+		var totalCPU, totalDisk time.Duration
+		for _, stream := range streams {
+			for _, d := range stream {
+				totalCPU += time.Duration(d.Objects) * p.CPUPerObject
+				totalDisk += time.Duration(d.IOs) * p.DiskServiceTime
+			}
+		}
+		bottleneck := totalCPU
+		if totalDisk > bottleneck {
+			bottleneck = totalDisk
+		}
+		return res.Makespan >= bottleneck && res.Makespan <= totalCPU+totalDisk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerFCFS(t *testing.T) {
+	var s server
+	end1 := s.serve(0, 10)
+	end2 := s.serve(5, 10) // arrives while busy: queues
+	if end1 != 10 || end2 != 20 {
+		t.Fatalf("FCFS broken: %v, %v", end1, end2)
+	}
+	end3 := s.serve(100, 5) // arrives idle
+	if end3 != 105 {
+		t.Fatalf("idle service broken: %v", end3)
+	}
+	if s.busy != 25 {
+		t.Fatalf("busy = %v", s.busy)
+	}
+}

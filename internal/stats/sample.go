@@ -1,0 +1,99 @@
+package stats
+
+import "sort"
+
+// DefaultSampleCap bounds a Sample's memory; beyond it, reservoir
+// sampling keeps a uniform subset (deterministically).
+const DefaultSampleCap = 16384
+
+// Sample retains observations for quantile estimation. Up to the cap it
+// is exact; past the cap it degrades to uniform reservoir sampling driven
+// by a deterministic linear congruential sequence, so benchmark runs stay
+// reproducible. The zero value is ready to use with the default cap.
+type Sample struct {
+	cap    int
+	seen   int64
+	values []float64
+	rng    uint64
+}
+
+// NewSample returns a Sample bounded to capN observations
+// (DefaultSampleCap if capN <= 0).
+func NewSample(capN int) *Sample {
+	return &Sample{cap: capN}
+}
+
+func (s *Sample) capacity() int {
+	if s.cap <= 0 {
+		return DefaultSampleCap
+	}
+	return s.cap
+}
+
+// nextRand advances the deterministic LCG (Numerical Recipes constants).
+func (s *Sample) nextRand() uint64 {
+	if s.rng == 0 {
+		s.rng = 0x9E3779B97F4A7C15
+	}
+	s.rng = s.rng*6364136223846793005 + 1442695040888963407
+	return s.rng
+}
+
+// Add folds one observation in.
+func (s *Sample) Add(x float64) {
+	s.seen++
+	if len(s.values) < s.capacity() {
+		s.values = append(s.values, x)
+		return
+	}
+	// Reservoir: replace a random slot with probability cap/seen.
+	idx := s.nextRand() % uint64(s.seen)
+	if idx < uint64(len(s.values)) {
+		s.values[idx] = x
+	}
+}
+
+// N returns how many observations were seen (not retained).
+func (s *Sample) N() int64 { return s.seen }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained values,
+// with linear interpolation; 0 when empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median is Quantile(0.5).
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// P95 is Quantile(0.95).
+func (s *Sample) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Merge folds another sample in (retained values concatenate, then the
+// reservoir bound re-applies deterministically).
+func (s *Sample) Merge(o *Sample) {
+	for _, v := range o.values {
+		s.Add(v)
+	}
+	// Account for observations the other side saw but did not retain.
+	s.seen += o.seen - int64(len(o.values))
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleExactQuantiles(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 99; i++ {
+		s.Add(float64(i))
+	}
+	if m := s.Median(); math.Abs(m-50) > 1e-9 {
+		t.Fatalf("median = %v", m)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("min = %v", q)
+	}
+	if q := s.Quantile(1); q != 99 {
+		t.Fatalf("max = %v", q)
+	}
+	if p := s.P95(); p < 93 || p > 96 {
+		t.Fatalf("p95 = %v", p)
+	}
+	if p := s.P99(); p < 97 || p > 99 {
+		t.Fatalf("p99 = %v", p)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 || s.N() != 0 {
+		t.Fatal("empty sample not zero")
+	}
+}
+
+func TestSampleInterpolation(t *testing.T) {
+	s := NewSample(10)
+	s.Add(0)
+	s.Add(10)
+	if m := s.Median(); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("median of {0,10} = %v", m)
+	}
+}
+
+func TestReservoirStaysRepresentative(t *testing.T) {
+	s := NewSample(1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Add(float64(i % 1000)) // uniform over [0, 1000)
+	}
+	if s.N() != n {
+		t.Fatalf("seen = %d", s.N())
+	}
+	if m := s.Median(); m < 400 || m > 600 {
+		t.Fatalf("reservoir median = %v, want ~500", m)
+	}
+	if p := s.P95(); p < 900 || p > 1000 {
+		t.Fatalf("reservoir p95 = %v, want ~950", p)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := NewSample(100)
+		for i := 0; i < 10000; i++ {
+			s.Add(float64((i * 37) % 1001))
+		}
+		return s.Median()
+	}
+	if run() != run() {
+		t.Fatal("reservoir nondeterministic")
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	a := NewSample(1000)
+	b := NewSample(1000)
+	for i := 0; i < 100; i++ {
+		a.Add(1)
+		b.Add(3)
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if m := a.Median(); m < 1 || m > 3 {
+		t.Fatalf("merged median = %v", m)
+	}
+}
+
+// TestQuantileMonotone property-checks that quantiles are monotone in q
+// and bounded by the observed min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := NewSample(0)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			s.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+			v := s.Quantile(q)
+			if v < prev || v < lo || v > hi {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package stats provides the small statistical toolkit the benchmark
+// reports are built from: streaming moments (Welford), min/max, and
+// normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates streaming mean and variance in a numerically stable
+// way, plus min and max. The zero value is ready to use.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Sum returns n * mean.
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval of the mean.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Merge folds another accumulator into this one (parallel merge,
+// Chan et al. formula).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// String renders "mean ± ci95 [min, max] (n)".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.3g ± %.2g [%.3g, %.3g] (n=%d)", w.Mean(), w.CI95(), w.Min(), w.Max(), w.n)
+}

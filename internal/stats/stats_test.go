@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 || w.CI95() != 0 {
+		t.Fatalf("empty accumulator not zero: %+v", w)
+	}
+}
+
+func TestKnownSequence(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almostEq(w.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var = %v", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	if !almostEq(w.Sum(), 40, 1e-9) {
+		t.Fatalf("sum = %v", w.Sum())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Min() != 3.5 || w.Max() != 3.5 || w.Var() != 0 {
+		t.Fatalf("%+v", w)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var a, b Welford
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		b.Add(float64(i % 3))
+	}
+	if b.CI95() >= a.CI95() {
+		t.Fatalf("CI did not shrink: %v -> %v", a.CI95(), b.CI95())
+	}
+}
+
+// TestMergeEquivalence property-checks that merging partial accumulators
+// equals accumulating the concatenated stream.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		bound := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 1e6)
+		}
+		var all, a, b Welford
+		for _, x := range xs {
+			x = bound(x)
+			all.Add(x)
+			a.Add(x)
+		}
+		for _, y := range ys {
+			y = bound(y)
+			all.Add(y)
+			b.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		if !almostEq(a.Mean(), all.Mean(), 1e-9*scale) {
+			return false
+		}
+		vscale := math.Max(1, all.Var())
+		return almostEq(a.Var(), all.Var(), 1e-6*vscale) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(&b) // empty other: no change
+	if a != before {
+		t.Fatalf("merge with empty changed state")
+	}
+	b.Merge(&a) // empty receiver: copies
+	if b.N() != 2 || b.Mean() != 1.5 {
+		t.Fatalf("merge into empty: %+v", b)
+	}
+}
+
+func TestString(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	if s := w.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+
+	"ocb/internal/disk"
+)
+
+// CheckIntegrity verifies that the object table and the page directory
+// tell the same story: every table entry's pages exist and hold the
+// object, every slot on every page belongs to a live object, page byte
+// accounting matches slot sums, and no object appears twice. It charges
+// no I/O. Intended for tests and offline verification (ocbgen).
+func (s *Store) CheckIntegrity() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Table -> pages.
+	claimed := make(map[disk.PageID]map[OID]bool)
+	for oid, l := range s.table {
+		if len(l.pages) == 0 {
+			return fmt.Errorf("store: object %d has no pages", oid)
+		}
+		if l.size <= 0 {
+			return fmt.Errorf("store: object %d has size %d", oid, l.size)
+		}
+		if l.large() && l.size <= s.disk.PageSize() {
+			return fmt.Errorf("store: object %d spans %d pages but fits one", oid, len(l.pages))
+		}
+		for _, pid := range l.pages {
+			pg, ok := s.disk.Peek(pid)
+			if !ok {
+				return fmt.Errorf("store: object %d references missing page %d", oid, pid)
+			}
+			if !pg.Has(uint64(oid)) {
+				return fmt.Errorf("store: object %d not on its page %d", oid, pid)
+			}
+			if claimed[pid] == nil {
+				claimed[pid] = make(map[OID]bool)
+			}
+			claimed[pid][oid] = true
+		}
+	}
+
+	// Pages -> table.
+	for _, pid := range s.disk.PageIDs() {
+		pg, _ := s.disk.Peek(pid)
+		sum := 0
+		seen := make(map[uint64]bool)
+		for _, slot := range pg.Slots {
+			sum += slot.Size
+			oid := OID(slot.Object)
+			l, ok := s.table[oid]
+			if !ok {
+				return fmt.Errorf("store: page %d holds unknown object %d", pid, oid)
+			}
+			if seen[slot.Object] {
+				return fmt.Errorf("store: page %d holds object %d twice", pid, oid)
+			}
+			seen[slot.Object] = true
+			onPage := false
+			for _, p := range l.pages {
+				if p == pid {
+					onPage = true
+					break
+				}
+			}
+			if !onPage {
+				return fmt.Errorf("store: page %d holds object %d whose table entry disagrees", pid, oid)
+			}
+		}
+		if sum != pg.Used {
+			return fmt.Errorf("store: page %d accounts %d bytes, slots sum to %d", pid, pg.Used, sum)
+		}
+		if pg.Used > s.disk.PageSize() && len(pg.Slots) != 1 {
+			return fmt.Errorf("store: overfull shared page %d", pid)
+		}
+	}
+
+	// Resident pages must exist on disk.
+	for _, pid := range s.pool.ResidentPages() {
+		if _, ok := s.disk.Peek(pid); !ok {
+			return fmt.Errorf("store: pool holds freed page %d", pid)
+		}
+	}
+	return nil
+}

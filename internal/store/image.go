@@ -1,0 +1,86 @@
+package store
+
+import (
+	"fmt"
+
+	"ocb/internal/disk"
+)
+
+// Image is a serializable snapshot of a store: the disk content, the
+// object table, and the geometry needed to reopen it. The buffer pool is
+// not part of the image — a restored store starts with a cold cache, like
+// a freshly booted system.
+type Image struct {
+	Config  Config
+	Disk    *disk.Snapshot
+	NextOID OID
+	Objects []ImageObject
+}
+
+// ImageObject is one object-table entry.
+type ImageObject struct {
+	OID   OID
+	Size  int
+	Pages []disk.PageID
+}
+
+// Image captures the store's persistent state. Dirty pages are flushed
+// first so the image is self-consistent.
+func (s *Store) Image() (*Image, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	img := &Image{
+		Config: Config{
+			PageSize:    s.disk.PageSize(),
+			BufferPages: s.pool.Capacity(),
+			Policy:      s.pool.Policy(),
+		},
+		Disk:    s.disk.Export(),
+		NextOID: s.next,
+	}
+	for oid, l := range s.table {
+		img.Objects = append(img.Objects, ImageObject{
+			OID:   oid,
+			Size:  l.size,
+			Pages: append([]disk.PageID(nil), l.pages...),
+		})
+	}
+	return img, nil
+}
+
+// FromImage reopens a store from an image, with a cold cache and zeroed
+// statistics.
+func FromImage(img *Image) (*Store, error) {
+	if img == nil || img.Disk == nil {
+		return nil, fmt.Errorf("store: nil image")
+	}
+	s, err := Open(img.Config)
+	if err != nil {
+		return nil, err
+	}
+	s.disk.Import(img.Disk)
+	s.next = img.NextOID
+	s.table = make(map[OID]*loc, len(img.Objects))
+	for _, o := range img.Objects {
+		if len(o.Pages) == 0 {
+			return nil, fmt.Errorf("store: image object %d has no pages", o.OID)
+		}
+		s.table[o.OID] = &loc{pages: append([]disk.PageID(nil), o.Pages...), size: o.Size}
+	}
+	// Verify the directory agrees with the pages.
+	for oid, l := range s.table {
+		for _, pid := range l.pages {
+			pg, ok := s.disk.Peek(pid)
+			if !ok {
+				return nil, fmt.Errorf("store: image object %d references missing page %d", oid, pid)
+			}
+			if !pg.Has(uint64(oid)) {
+				return nil, fmt.Errorf("store: image object %d not on page %d", oid, pid)
+			}
+		}
+	}
+	return s, nil
+}

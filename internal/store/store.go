@@ -1,0 +1,560 @@
+// Package store implements the persistent object store underneath the
+// benchmarks — the role Texas (Singhal, Kakkad & Wilson, POS 1992) plays in
+// the OCB paper's experiments.
+//
+// Texas is a virtual-memory-mapped persistent heap for C++: objects live in
+// 4 KB pages; touching a non-resident object faults its whole page into
+// memory, swizzling pointers on the way. What OCB measures through Texas is
+// page-grain I/O, so that is what this store models exactly:
+//
+//   - an object table mapping OIDs to pages,
+//   - creation-order placement (new objects fill the current page, exactly
+//     like allocation in a persistent heap),
+//   - Access(oid), which faults the owning page through the buffer pool,
+//   - Relocate, the physical-reorganization primitive clustering policies
+//     use, with its I/O cost charged to the clustering overhead class.
+//
+// The store is safe for concurrent use by multiple benchmark clients; all
+// operations serialize on one mutex, which mirrors the single-disk,
+// single-memory testbed of the paper.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ocb/internal/buffer"
+	"ocb/internal/disk"
+)
+
+// OID identifies a stored object. Zero is NilOID, never a live object.
+type OID uint64
+
+// NilOID is the null object reference.
+const NilOID OID = 0
+
+// ObjectHeaderSize is the per-object on-disk overhead (oid + class tag +
+// reference count words), modeled after persistent C++ object headers.
+const ObjectHeaderSize = 16
+
+// Errors returned by the store.
+var (
+	ErrNoSuchObject   = errors.New("store: no such object")
+	ErrObjectTooLarge = errors.New("store: object larger than a page")
+	ErrBadSize        = errors.New("store: object size must be positive")
+)
+
+// Config parameterizes a store. Zero values select the paper's testbed
+// geometry: 4 KB pages and an 8 MB buffer's worth of frames.
+type Config struct {
+	// PageSize in bytes; default disk.DefaultPageSize (4096).
+	PageSize int
+	// BufferPages is the pool capacity in frames; default 512.
+	// (The testbed had 8 MB of RAM, but SunOS, Texas's own structures and
+	// the benchmark program consume most of it; 512 frames = 2 MB of page
+	// cache reproduces the paper's cache-pressure regime for the default
+	// 20000-object database.)
+	BufferPages int
+	// Policy is the replacement policy; default LRU.
+	Policy buffer.Policy
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.PageSize < 0 {
+		return c, fmt.Errorf("store: negative page size %d", c.PageSize)
+	}
+	if c.BufferPages < 0 {
+		return c, fmt.Errorf("store: negative buffer size %d", c.BufferPages)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = disk.DefaultPageSize
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 512
+	}
+	return c, nil
+}
+
+// Stats is a snapshot of every counter the benchmarks report.
+type Stats struct {
+	Disk            disk.Stats
+	Pool            buffer.Stats
+	ObjectsAccessed uint64
+	Objects         int
+	Pages           int
+}
+
+// RelocStats reports the cost of one Relocate call.
+type RelocStats struct {
+	ObjectsMoved int
+	PagesRead    int
+	PagesWritten int
+	PagesFreed   int
+	NewPages     int
+}
+
+// Store is a paged persistent object store with exact I/O accounting.
+type Store struct {
+	mu    sync.Mutex
+	disk  *disk.Disk
+	pool  *buffer.Pool
+	table map[OID]*loc
+	fill  *disk.Page // current creation-order fill target
+	next  OID
+
+	objectsAccessed uint64
+}
+
+type loc struct {
+	// pages holds the object's page run: one entry for ordinary objects,
+	// several dedicated pages for large objects (size > page size), which
+	// never share pages with other objects.
+	pages []disk.PageID
+	size  int
+}
+
+// home returns the object's first (directory) page.
+func (l *loc) home() disk.PageID { return l.pages[0] }
+
+// large reports whether the object spans dedicated pages.
+func (l *loc) large() bool { return len(l.pages) > 1 }
+
+// Open creates an empty store.
+func Open(cfg Config) (*Store, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := disk.New(cfg.PageSize)
+	p, err := buffer.New(d, cfg.BufferPages, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		disk:  d,
+		pool:  p,
+		table: make(map[OID]*loc),
+		next:  1,
+	}, nil
+}
+
+// MustOpen is Open for known-good configurations; it panics on error.
+func MustOpen(cfg Config) *Store {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Disk exposes the underlying device (for stats and fault injection).
+func (s *Store) Disk() *disk.Disk { return s.disk }
+
+// Pool exposes the buffer pool (for stats and geometry experiments).
+func (s *Store) Pool() *buffer.Pool { return s.pool }
+
+// PageSize returns the disk page size.
+func (s *Store) PageSize() int { return s.disk.PageSize() }
+
+// Create allocates a new object of the given payload size (header added
+// internally) placed in creation order, returning its OID. Objects larger
+// than a page span a run of dedicated pages (Texas maps large objects onto
+// page runs the same way); accessing such an object faults every page of
+// the run.
+func (s *Store) Create(payloadSize int) (OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if payloadSize < 0 {
+		return NilOID, ErrBadSize
+	}
+	size := payloadSize + ObjectHeaderSize
+	oid := s.next
+	s.next++
+	if size > s.disk.PageSize() {
+		pages, err := s.placeLarge(oid, size)
+		if err != nil {
+			return NilOID, err
+		}
+		s.table[oid] = &loc{pages: pages, size: size}
+		return oid, nil
+	}
+	if err := s.place(oid, size); err != nil {
+		return NilOID, err
+	}
+	return oid, nil
+}
+
+// placeLarge allocates the dedicated page run of a large object and
+// installs it. Caller holds s.mu.
+func (s *Store) placeLarge(oid OID, size int) ([]disk.PageID, error) {
+	pageSize := s.disk.PageSize()
+	var pages []disk.PageID
+	for remaining := size; remaining > 0; remaining -= pageSize {
+		chunk := remaining
+		if chunk > pageSize {
+			chunk = pageSize
+		}
+		pg := s.disk.Allocate()
+		if !pg.Add(uint64(oid), chunk, pageSize) {
+			return nil, fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, size)
+		}
+		if err := s.pool.Install(pg); err != nil {
+			return nil, err
+		}
+		pages = append(pages, pg.ID)
+	}
+	return pages, nil
+}
+
+// place appends the object to the current fill page, starting a new page
+// when it does not fit. Caller holds s.mu.
+func (s *Store) place(oid OID, size int) error {
+	if s.fill == nil || !s.fill.Add(uint64(oid), size, s.disk.PageSize()) {
+		s.fill = s.disk.Allocate()
+		if !s.fill.Add(uint64(oid), size, s.disk.PageSize()) {
+			return fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, size)
+		}
+		if err := s.pool.Install(s.fill); err != nil {
+			return err
+		}
+	} else {
+		s.pool.MarkDirty(s.fill.ID)
+	}
+	s.table[oid] = &loc{pages: []disk.PageID{s.fill.ID}, size: size}
+	return nil
+}
+
+// Access faults the object's page into memory (the analogue of
+// dereferencing a swizzled pointer in Texas) and counts one object access.
+func (s *Store) Access(oid OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.table[oid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+	}
+	for _, pg := range l.pages {
+		if _, err := s.pool.Get(pg); err != nil {
+			return err
+		}
+	}
+	s.objectsAccessed++
+	return nil
+}
+
+// Update is Access plus marking the page dirty (an in-place modification).
+func (s *Store) Update(oid OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.table[oid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+	}
+	for _, pg := range l.pages {
+		if _, err := s.pool.Get(pg); err != nil {
+			return err
+		}
+		s.pool.MarkDirty(pg)
+	}
+	s.objectsAccessed++
+	return nil
+}
+
+// Delete removes an object; its page is read (to be updated), shrunk and
+// marked dirty. An emptied page is freed.
+func (s *Store) Delete(oid OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.table[oid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+	}
+	for _, pid := range l.pages {
+		pg, err := s.pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		pg.Remove(uint64(oid))
+		if len(pg.Slots) == 0 {
+			s.pool.Discard(pg.ID)
+			s.disk.Free(pg.ID)
+			if s.fill != nil && s.fill.ID == pg.ID {
+				s.fill = nil
+			}
+		} else {
+			s.pool.MarkDirty(pg.ID)
+		}
+	}
+	delete(s.table, oid)
+	return nil
+}
+
+// Exists reports whether the OID names a live object.
+func (s *Store) Exists(oid OID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.table[oid]
+	return ok
+}
+
+// SizeOf returns the on-disk size of the object (header included).
+func (s *Store) SizeOf(oid OID) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.table[oid]
+	if !ok {
+		return 0, false
+	}
+	return l.size, true
+}
+
+// PageOf returns the (first) page currently holding the object.
+func (s *Store) PageOf(oid OID) (disk.PageID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.table[oid]
+	if !ok {
+		return 0, false
+	}
+	return l.home(), true
+}
+
+// PagesOf returns the object's whole page run.
+func (s *Store) PagesOf(oid OID) ([]disk.PageID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.table[oid]
+	if !ok {
+		return nil, false
+	}
+	return append([]disk.PageID(nil), l.pages...), true
+}
+
+// NumObjects returns the number of live objects.
+func (s *Store) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+// NumPages returns the number of allocated pages.
+func (s *Store) NumPages() int { return s.disk.NumPages() }
+
+// Commit flushes all dirty pages (transaction commit).
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.FlushAll()
+}
+
+// DropCache empties the buffer pool without write-back, simulating a cold
+// restart between benchmark phases.
+func (s *Store) DropCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.DropAll()
+	s.fill = nil
+}
+
+// SetIOClass routes subsequent disk I/O charges (transaction/clustering).
+func (s *Store) SetIOClass(c disk.IOClass) { s.disk.SetClass(c) }
+
+// Stats returns a snapshot of all counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Disk:            s.disk.Stats(),
+		Pool:            s.pool.Stats(),
+		ObjectsAccessed: s.objectsAccessed,
+		Objects:         len(s.table),
+		Pages:           s.disk.NumPages(),
+	}
+}
+
+// ResetStats zeroes every counter (placement is untouched).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disk.ResetStats()
+	s.pool.ResetStats()
+	s.objectsAccessed = 0
+}
+
+// Relocate applies a clustering layout: each cluster's objects are placed
+// contiguously, clusters packed into fresh pages in order. Objects not
+// mentioned keep their current placement. The whole operation is charged to
+// the clustering I/O class: one read per distinct source page, one write
+// per source page that still holds objects afterwards, one write per new
+// page. Affected pages are dropped from the buffer pool (reorganization
+// happens "when the system is idle", §4.1 phase 5).
+func (s *Store) Relocate(clusters [][]OID) (RelocStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var st RelocStats
+	prevClass := s.disk.Class()
+	s.disk.SetClass(disk.Clustering)
+	defer s.disk.SetClass(prevClass)
+
+	// Deduplicate: an object may appear in several clustering units (DSTC
+	// units can overlap); the first placement wins. Unit boundaries are
+	// preserved so that a unit that fits a page is never split.
+	moved := make(map[OID]bool)
+	var order []OID
+	var units [][]OID
+	for _, cl := range clusters {
+		var unit []OID
+		for _, oid := range cl {
+			if oid == NilOID || moved[oid] {
+				continue
+			}
+			if _, ok := s.table[oid]; !ok {
+				continue
+			}
+			moved[oid] = true
+			order = append(order, oid)
+			unit = append(unit, oid)
+		}
+		if len(unit) > 0 {
+			units = append(units, unit)
+		}
+	}
+	if len(order) == 0 {
+		return st, nil
+	}
+
+	// Read every distinct source page once and detach the moved objects.
+	srcPages := make(map[disk.PageID]*disk.Page)
+	for _, oid := range order {
+		l := s.table[oid]
+		for _, pid := range l.pages {
+			if _, ok := srcPages[pid]; !ok {
+				pg, err := s.disk.Read(pid)
+				if err != nil {
+					return st, err
+				}
+				srcPages[pid] = pg
+				st.PagesRead++
+			}
+			srcPages[pid].Remove(uint64(oid))
+		}
+	}
+
+	// Write back or free the shrunken source pages.
+	srcIDs := make([]disk.PageID, 0, len(srcPages))
+	for id := range srcPages {
+		srcIDs = append(srcIDs, id)
+	}
+	sort.Slice(srcIDs, func(i, j int) bool { return srcIDs[i] < srcIDs[j] })
+	for _, id := range srcIDs {
+		pg := srcPages[id]
+		s.pool.Discard(id)
+		if s.fill != nil && s.fill.ID == id {
+			s.fill = nil
+		}
+		if len(pg.Slots) == 0 {
+			s.disk.Free(id)
+			st.PagesFreed++
+			continue
+		}
+		if err := s.disk.Write(pg); err != nil {
+			return st, err
+		}
+		st.PagesWritten++
+	}
+
+	// Lay the moved objects out contiguously, unit by unit. A unit small
+	// enough for one page is never split across pages; larger units spill
+	// over but stay contiguous.
+	pageSize := s.disk.PageSize()
+	var cur *disk.Page
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := s.disk.Write(cur); err != nil {
+			return err
+		}
+		st.PagesWritten++
+		st.NewPages++
+		cur = nil
+		return nil
+	}
+	for _, unit := range units {
+		unitSize := 0
+		for _, oid := range unit {
+			unitSize += s.table[oid].size
+		}
+		if cur != nil && unitSize <= pageSize && cur.Free(pageSize) < unitSize {
+			if err := flush(); err != nil {
+				return st, err
+			}
+		}
+		for _, oid := range unit {
+			l := s.table[oid]
+			if l.size > pageSize {
+				// Large objects keep dedicated page runs.
+				if err := flush(); err != nil {
+					return st, err
+				}
+				var pages []disk.PageID
+				for remaining := l.size; remaining > 0; remaining -= pageSize {
+					chunk := remaining
+					if chunk > pageSize {
+						chunk = pageSize
+					}
+					pg := s.disk.Allocate()
+					pg.Add(uint64(oid), chunk, pageSize)
+					if err := s.disk.Write(pg); err != nil {
+						return st, err
+					}
+					st.PagesWritten++
+					st.NewPages++
+					pages = append(pages, pg.ID)
+				}
+				l.pages = pages
+				st.ObjectsMoved++
+				continue
+			}
+			if cur == nil || !cur.Add(uint64(oid), l.size, pageSize) {
+				if err := flush(); err != nil {
+					return st, err
+				}
+				cur = s.disk.Allocate()
+				if !cur.Add(uint64(oid), l.size, pageSize) {
+					return st, fmt.Errorf("%w: object %d (%d bytes)", ErrObjectTooLarge, oid, l.size)
+				}
+			}
+			l.pages = []disk.PageID{cur.ID}
+			st.ObjectsMoved++
+		}
+	}
+	if err := flush(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Layout returns, for every page, the ordered object ids it holds. Pages
+// appear in ascending id order. Intended for inspection and tests; charges
+// no I/O.
+func (s *Store) Layout() map[disk.PageID][]OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[disk.PageID][]OID)
+	for _, id := range s.disk.PageIDs() {
+		pg, ok := s.disk.Peek(id)
+		if !ok {
+			continue
+		}
+		oids := make([]OID, 0, len(pg.Slots))
+		for _, sl := range pg.Slots {
+			oids = append(oids, OID(sl.Object))
+		}
+		out[id] = oids
+	}
+	return out
+}

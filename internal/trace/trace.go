@@ -1,0 +1,114 @@
+// Package trace records and replays OCB transaction streams.
+//
+// A trace pins a workload down to the exact transactions executed — type,
+// root, depth, reference type, direction — so that different clustering
+// policies, buffer geometries or store implementations can be compared on
+// *identical* inputs, and so that a workload can be exported, archived and
+// rerun later (the benchmark-comparison discipline Section 4.3 of the
+// paper applies when replaying CluB's workload against OCB's).
+//
+// Traces serialize with encoding/gob; entries carry the measured results
+// of the recording run so replays can be diffed against them.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ocb/internal/cluster"
+	"ocb/internal/core"
+	"ocb/internal/lewis"
+)
+
+// Entry is one recorded transaction plus the measurements of the
+// recording run.
+type Entry struct {
+	Tx core.Transaction
+	// Objects and IOs are the recording run's measurements (replays on a
+	// different placement will differ in IOs, by design).
+	Objects int
+	IOs     uint64
+}
+
+// Trace is a recorded transaction stream.
+type Trace struct {
+	// Seed is the workload seed the stream was sampled with.
+	Seed int64
+	// Entries are the transactions in execution order.
+	Entries []Entry
+}
+
+// Record samples and executes n transactions against db (single client,
+// policy optional), recording each with its measurements.
+func Record(db *core.Database, policy cluster.Policy, n int, seed int64) (*Trace, error) {
+	src := lewis.New(seed)
+	ex := core.NewExecutor(db, policy, src)
+	tr := &Trace{Seed: seed}
+	for i := 0; i < n; i++ {
+		tx := core.SampleTransaction(db.P, src)
+		res, err := ex.Exec(tx)
+		if err != nil {
+			return nil, fmt.Errorf("trace: recording transaction %d: %w", i, err)
+		}
+		tr.Entries = append(tr.Entries, Entry{Tx: tx, Objects: res.ObjectsAccessed, IOs: res.IOs})
+	}
+	return tr, nil
+}
+
+// ReplayResult compares a replay with the recording.
+type ReplayResult struct {
+	Transactions int
+	// TotalIOs is the replay's transaction I/O total.
+	TotalIOs uint64
+	// RecordedIOs is the recording run's total, for the before/after diff.
+	RecordedIOs uint64
+	// ObjectMismatches counts transactions whose object count diverged —
+	// which means the database changed structurally between record and
+	// replay (it stays 0 across pure placement changes).
+	ObjectMismatches int
+}
+
+// Replay executes the recorded stream against db (which may have been
+// reorganized since recording) and reports the I/O comparison. The
+// stochastic traversals replay their recorded random choices because the
+// source is reseeded identically.
+func Replay(db *core.Database, tr *Trace) (*ReplayResult, error) {
+	src := lewis.New(tr.Seed)
+	ex := core.NewExecutor(db, nil, src)
+	out := &ReplayResult{}
+	for i, e := range tr.Entries {
+		// Draw the same sampling randomness so the stochastic walks see
+		// the identical coin flips.
+		resampled := core.SampleTransaction(db.P, src)
+		if resampled != e.Tx {
+			return nil, fmt.Errorf("trace: stream diverged at %d: %+v vs %+v (database parameters changed?)",
+				i, resampled, e.Tx)
+		}
+		res, err := ex.Exec(e.Tx)
+		if err != nil {
+			return nil, fmt.Errorf("trace: replaying transaction %d: %w", i, err)
+		}
+		out.Transactions++
+		out.TotalIOs += res.IOs
+		out.RecordedIOs += e.IOs
+		if res.ObjectsAccessed != e.Objects {
+			out.ObjectMismatches++
+		}
+	}
+	return out, nil
+}
+
+// Save serializes the trace with gob.
+func (t *Trace) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// Load reads a trace saved with Save.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	return &t, nil
+}
