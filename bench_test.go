@@ -9,6 +9,8 @@
 package ocb_test
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"ocb/internal/cluster"
@@ -261,3 +263,78 @@ func BenchmarkStoreAccess(b *testing.B) {
 		}
 	})
 }
+
+// parallelStore builds a store populated for the contention benchmarks.
+func parallelStore(b *testing.B, shards int) (*store.Store, []store.OID) {
+	b.Helper()
+	s, err := store.Open(store.Config{PageSize: 4096, BufferPages: 4096, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oids []store.OID
+	for i := 0; i < 10000; i++ {
+		oid, err := s.Create(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return s, oids
+}
+
+// BenchmarkStoreAccessParallel hammers Store.Access from GOMAXPROCS
+// goroutines: the single-shard configuration reproduces the original
+// global-mutex store, the sharded one is the tentpole concurrency path.
+func BenchmarkStoreAccessParallel(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, oids := parallelStore(b, shards)
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Distinct per-worker seeds: identical streams would hit
+				// the same shard in lockstep and overstate contention.
+				src := lewis.New(1000 + worker.Add(1))
+				for pb.Next() {
+					if err := s.Access(oids[src.Intn(len(oids))]); err != nil {
+						// Fatal must not run on a RunParallel worker.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreUpdateParallel is the dirty-path analogue: Access plus a
+// slot-directory dirty mark under the owning pool shard's lock.
+func BenchmarkStoreUpdateParallel(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, oids := parallelStore(b, shards)
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Distinct per-worker seeds, as in the Access benchmark.
+				src := lewis.New(2000 + worker.Add(1))
+				for pb.Next() {
+					if err := s.Update(oids[src.Intn(len(oids))]); err != nil {
+						// Fatal must not run on a RunParallel worker.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkScalabilitySweep regenerates the tentpole scalability table on
+// the quick geometry.
+func BenchmarkScalabilitySweep(b *testing.B) { benchTable(b, exp.Scalability) }

@@ -9,7 +9,8 @@
 // -run selects a comma-separated subset of:
 //
 //	table1 table2 table3 fig4 table4 table5 genericity types
-//	policies buffer clients reverse dstc-sens oo1 hypermodel oo7 all
+//	policies buffer clients scale reverse dstc-sens oo1 hypermodel
+//	oo7 all
 package main
 
 import (
@@ -39,6 +40,7 @@ var experiments = []struct {
 	{"policies", "A1: clustering policy shoot-out", exp.Policies},
 	{"buffer", "A2: buffer size sweep", exp.BufferSweep},
 	{"clients", "A3: multi-client scaling", exp.MultiClient},
+	{"scale", "multi-client scalability sweep (sharded store, shared database)", exp.Scalability},
 	{"reverse", "A4: forward vs reversed traversals", exp.Reverse},
 	{"dstc-sens", "A5: DSTC parameter sensitivity", exp.DSTCSensitivity},
 	{"generic", "A6: fully generic workload (Section 5 extension)", exp.GenericWorkload},

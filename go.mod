@@ -1,0 +1,3 @@
+module ocb
+
+go 1.24

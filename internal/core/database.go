@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ocb/internal/lewis"
@@ -43,6 +44,13 @@ type Database struct {
 	// insertions and deletions (swap-remove list + index).
 	live    []store.OID
 	liveIdx map[store.OID]int
+
+	// mu guards the in-memory object graph (Objects, class iterators,
+	// BackRefs, the live set) against the generic workload's structural
+	// mutations: Executor.Exec share-locks it for read-only transaction
+	// types and takes it exclusively for insertions and deletions, so
+	// CLIENTN > 1 stays safe even under the Section 5 mutating workload.
+	mu sync.RWMutex
 }
 
 // Generate runs the full database generation algorithm of Fig. 2 and
@@ -65,6 +73,7 @@ func Generate(p Params) (*Database, error) {
 		PageSize:    p.PageSize,
 		BufferPages: p.BufferPages,
 		Policy:      p.BufferPolicy,
+		Shards:      p.storeShards(),
 	})
 	if err != nil {
 		return nil, err

@@ -89,6 +89,12 @@ type Params struct {
 	Dist5 lewis.Distribution
 	// ClientN is the number of concurrent benchmark clients. Default 1.
 	ClientN int
+	// OpenLoop switches think-time pacing: false (default) is a closed
+	// loop — each client sleeps Think after every transaction; true is an
+	// open loop — each client issues transactions on a fixed arrival
+	// schedule of one per Think, regardless of completion times, so
+	// service-time jitter does not throttle offered load.
+	OpenLoop bool
 
 	// ---- Testbed geometry (Section 4.2 material conditions) ----
 
@@ -98,6 +104,12 @@ type Params struct {
 	BufferPages int
 	// BufferPolicy is the page replacement policy. Default LRU.
 	BufferPolicy buffer.Policy
+	// StoreShards is the store's lock-sharding degree (object table and
+	// buffer pool). 0 selects it automatically: 1 when ClientN == 1 —
+	// bit-for-bit the original single-mutex store, keeping single-client
+	// runs exactly reproducible — and 16 otherwise, so multi-client phases
+	// scale with cores instead of serializing on one mutex.
+	StoreShards int
 
 	// Seed drives all random generation. Runs with equal Params (including
 	// Seed) are identical bit for bit.
@@ -237,7 +249,22 @@ func (p Params) Validate() error {
 	if p.PageSize < 0 || p.BufferPages < 0 {
 		return fmt.Errorf("ocb: negative testbed geometry")
 	}
+	if p.StoreShards < 0 {
+		return fmt.Errorf("ocb: StoreShards = %d, need >= 0", p.StoreShards)
+	}
 	return nil
+}
+
+// storeShards resolves the effective lock-sharding degree (see the
+// StoreShards field for the auto rule).
+func (p Params) storeShards() int {
+	if p.StoreShards > 0 {
+		return p.StoreShards
+	}
+	if p.ClientN > 1 {
+		return 16
+	}
+	return 1
 }
 
 // MaxNRefOf returns MAXNREF(class).

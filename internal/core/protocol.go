@@ -44,6 +44,24 @@ func (m *TypeMetrics) add(res TxResult) {
 
 // PhaseMetrics aggregates one protocol phase (cold or warm run), globally
 // and per transaction type, plus the disk-counter delta of the phase.
+//
+// Exactness under concurrency (CLIENTN > 1): Transactions and the
+// per-type Count fields are exact and schedule-independent — each client
+// replays a deterministic stream. The Objects welfords are
+// schedule-independent under the read-only clustering-oriented mix; with
+// the Section 5 mutating mix (PInsert/PDelete > 0) a traversal's object
+// count depends on which insertions and deletions other clients committed
+// first, so only the totals' exactness survives, not their
+// run-to-run reproducibility.
+// DiskDelta is exact (atomic counters around the whole phase lose
+// nothing) and is additionally schedule-independent when the buffer
+// holds the phase's working set; under cache pressure the replacement
+// policy's choices depend on how clients interleave, so the delta can
+// vary slightly between runs. The per-transaction IOs welfords are
+// approximate: each transaction's I/O delta is read from the shared disk
+// counters, so it includes faults that concurrent clients interleaved
+// into the window. Response times are wall-clock and naturally vary run
+// to run. With CLIENTN == 1 every metric is exact and reproducible.
 type PhaseMetrics struct {
 	Name         string
 	Transactions int64
@@ -121,7 +139,7 @@ func (r *Runner) Run() (*Result, error) {
 // before and after reclustering on the same workload.
 func (r *Runner) RunPhase(name string, txPerClient int, seed int64) (*PhaseMetrics, error) {
 	p := r.DB.P
-	before := r.DB.Store.Stats().Disk
+	before := r.DB.Store.DiskStats()
 	start := time.Now()
 
 	results := make([]*PhaseMetrics, p.ClientN)
@@ -146,16 +164,21 @@ func (r *Runner) RunPhase(name string, txPerClient int, seed int64) (*PhaseMetri
 		m.merge(cm)
 	}
 	m.Duration = time.Since(start)
-	m.DiskDelta = r.DB.Store.Stats().Disk.Sub(before)
+	m.DiskDelta = r.DB.Store.DiskStats().Sub(before)
 	return m, nil
 }
 
-// runClient is one client's share of a phase.
+// runClient is one client's share of a phase. Think-time pacing follows
+// p.OpenLoop: closed loop sleeps Think after each transaction (a client
+// "thinks" only once the answer is back); open loop issues one transaction
+// per Think on a fixed arrival schedule, catching up without sleeping when
+// a transaction overruns its slot.
 func (r *Runner) runClient(n int, seed int64) (*PhaseMetrics, error) {
 	p := r.DB.P
 	src := lewis.New(seed)
 	ex := NewExecutor(r.DB, r.Policy, src)
 	m := &PhaseMetrics{}
+	nextArrival := time.Now()
 	for i := 0; i < n; i++ {
 		tx := SampleTransaction(p, src)
 		res, err := ex.Exec(tx)
@@ -166,7 +189,14 @@ func (r *Runner) runClient(n int, seed int64) (*PhaseMetrics, error) {
 		m.Global.add(res)
 		m.PerType[tx.Type].add(res)
 		if p.Think > 0 {
-			time.Sleep(p.Think)
+			if p.OpenLoop {
+				nextArrival = nextArrival.Add(p.Think)
+				if d := time.Until(nextArrival); d > 0 {
+					time.Sleep(d)
+				}
+			} else {
+				time.Sleep(p.Think)
+			}
 		}
 	}
 	return m, nil

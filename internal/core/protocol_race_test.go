@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests exercise the multi-client protocol under the race detector
+// (the CI race shard runs this package with -race) and pin down which
+// merged PhaseMetrics are schedule-independent: transaction counts,
+// per-type counts, per-transaction object counts and the phase's exact
+// disk-counter delta must be identical across repeated runs with the same
+// seed, no matter how the scheduler interleaves the clients.
+
+// raceParams is a small database under a buffer big enough that no pool
+// shard ever evicts: every page faults at most once per phase, which is
+// what makes the phase's disk delta independent of client interleaving.
+func raceParams(clients int) Params {
+	p := DefaultParams()
+	p.NO = 400
+	p.SupRef = 400
+	p.BufferPages = 2048
+	p.StoreShards = 8
+	p.ClientN = clients
+	return p
+}
+
+// runOnce replays one phase from a cold cache with zeroed counters.
+func runOnce(t *testing.T, db *Database, txPerClient int, seed int64) *PhaseMetrics {
+	t.Helper()
+	db.Store.DropCache()
+	db.Store.ResetStats()
+	m, err := NewRunner(db, nil).RunPhase("race", txPerClient, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunPhaseConcurrentScheduleIndependent(t *testing.T) {
+	for _, clients := range []int{2, 8} {
+		p := raceParams(clients)
+		db, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const txPerClient = 40
+		m1 := runOnce(t, db, txPerClient, 777)
+		accessed1 := db.Store.Stats().ObjectsAccessed
+		m2 := runOnce(t, db, txPerClient, 777)
+		accessed2 := db.Store.Stats().ObjectsAccessed
+
+		if m1.Transactions != int64(clients*txPerClient) {
+			t.Fatalf("clients=%d: %d transactions, want %d", clients, m1.Transactions, clients*txPerClient)
+		}
+		if m1.Transactions != m2.Transactions {
+			t.Errorf("clients=%d: transaction counts differ: %d vs %d", clients, m1.Transactions, m2.Transactions)
+		}
+		for tt := range m1.PerType {
+			if m1.PerType[tt].Count != m2.PerType[tt].Count {
+				t.Errorf("clients=%d: type %v count differs: %d vs %d",
+					clients, TxType(tt), m1.PerType[tt].Count, m2.PerType[tt].Count)
+			}
+		}
+		if m1.Global.Count != m2.Global.Count {
+			t.Errorf("clients=%d: global count differs: %d vs %d", clients, m1.Global.Count, m2.Global.Count)
+		}
+		// Objects accessed per transaction are determined by the traversal
+		// streams, so the merged welford is bitwise reproducible.
+		if m1.Global.Objects.Mean() != m2.Global.Objects.Mean() ||
+			m1.Global.Objects.N() != m2.Global.Objects.N() {
+			t.Errorf("clients=%d: objects-per-tx welford differs: %v/%d vs %v/%d", clients,
+				m1.Global.Objects.Mean(), m1.Global.Objects.N(),
+				m2.Global.Objects.Mean(), m2.Global.Objects.N())
+		}
+		if accessed1 != accessed2 {
+			t.Errorf("clients=%d: store object-access totals differ: %d vs %d", clients, accessed1, accessed2)
+		}
+		// The disk delta is the exact phase total: with no evictions every
+		// distinct page faults exactly once, so the counter-wise delta is
+		// schedule-independent.
+		if m1.DiskDelta != m2.DiskDelta {
+			t.Errorf("clients=%d: disk deltas differ: %+v vs %+v", clients, m1.DiskDelta, m2.DiskDelta)
+		}
+		if m1.DiskDelta.TotalWrites() != 0 {
+			t.Errorf("clients=%d: read-only phase wrote %d pages", clients, m1.DiskDelta.TotalWrites())
+		}
+		if pool := db.Store.Stats().Pool; pool.Evictions != 0 {
+			t.Errorf("clients=%d: geometry evicted %d pages; the exactness argument needs none", clients, pool.Evictions)
+		}
+	}
+}
+
+// TestRunPhaseConcurrentMatchesSerial pins the concurrency refactor to the
+// protocol semantics: the same seed produces the same per-client streams
+// whether the clients run concurrently or the phase runs with one client
+// per seed offset, so the merged per-type counts must match.
+func TestRunPhaseConcurrentMatchesSerial(t *testing.T) {
+	const clients, txPerClient = 4, 30
+	db, err := Generate(raceParams(clients))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := runOnce(t, db, txPerClient, 555)
+
+	serial := &PhaseMetrics{Name: "serial"}
+	sp := raceParams(1)
+	sdb, err := Generate(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < clients; c++ {
+		sdb.Store.DropCache()
+		// Client c of a concurrent phase draws from seed + c*104729.
+		m, err := NewRunner(sdb, nil).RunPhase("serial", txPerClient, 555+int64(c)*104729)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Transactions += m.Transactions
+		for tt := range serial.PerType {
+			serial.PerType[tt].Count += m.PerType[tt].Count
+		}
+	}
+	if conc.Transactions != serial.Transactions {
+		t.Fatalf("concurrent %d transactions vs serial %d", conc.Transactions, serial.Transactions)
+	}
+	for tt := range conc.PerType {
+		if conc.PerType[tt].Count != serial.PerType[tt].Count {
+			t.Errorf("type %v: concurrent count %d vs serial %d",
+				TxType(tt), conc.PerType[tt].Count, serial.PerType[tt].Count)
+		}
+	}
+}
+
+// TestRunPhaseConcurrentGenericWorkload runs the Section 5 mutating
+// workload (insertions, deletions, updates, scans) with concurrent
+// clients: the database graph lock serializes structural mutations, and
+// the database must come out of the phase internally consistent.
+func TestRunPhaseConcurrentGenericWorkload(t *testing.T) {
+	p := GenericParams()
+	p.NO = 300
+	p.SupRef = 300
+	p.BufferPages = 1024
+	p.StoreShards = 8
+	p.ClientN = 4
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(db, nil).RunPhase("generic", 25, 909); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDatabase(db); err != nil {
+		t.Fatalf("database inconsistent after concurrent mutating phase: %v", err)
+	}
+	if err := db.Store.CheckIntegrity(); err != nil {
+		t.Fatalf("store inconsistent after concurrent mutating phase: %v", err)
+	}
+}
+
+// TestOpenLoopPacing checks the open-loop arrival schedule: a phase of n
+// transactions with think time T takes at least (n-1)*T of wall clock but
+// does not stack service time on top of the schedule the way the closed
+// loop does.
+func TestOpenLoopPacing(t *testing.T) {
+	p := raceParams(1)
+	p.Think = 2 * time.Millisecond
+	p.OpenLoop = true
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	m, err := NewRunner(db, nil).RunPhase("open", n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := time.Duration(n-1) * p.Think; m.Duration < min {
+		t.Fatalf("open-loop phase of %d tx finished in %v, schedule floor is %v", n, m.Duration, min)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultScalabilityClients is the client sweep of the scalability
+// harness: powers of two through 16, the region where the paper's
+// era-hardware arguments about multi-user mode play out.
+var DefaultScalabilityClients = []int{1, 2, 4, 8, 16}
+
+// ScalabilityOptions parameterizes RunScalability.
+type ScalabilityOptions struct {
+	// Clients is the CLIENTN sweep; default DefaultScalabilityClients.
+	Clients []int
+	// TxPerClient is the measured transactions per client at each point;
+	// default 100.
+	TxPerClient int
+	// Think is the per-transaction think time (0 = saturation: clients
+	// issue back to back).
+	Think time.Duration
+	// OpenLoop selects open-loop pacing for Think (see Params.OpenLoop).
+	OpenLoop bool
+	// Seed drives the transaction streams; every point replays the same
+	// per-client stream family so points differ only in concurrency.
+	// Default 1 (0 means default).
+	Seed int64
+	// Shards overrides the store's lock-sharding degree for the sweep;
+	// 0 picks 2x the largest client count (rounded to a power of two).
+	Shards int
+	// KeepCache skips the cold restart before each point; by default the
+	// cache is dropped so points start from identical store state.
+	KeepCache bool
+}
+
+// ScalabilityPoint is one row of a scalability sweep.
+type ScalabilityPoint struct {
+	Clients      int
+	Transactions int64
+	Duration     time.Duration
+	// Throughput is transactions per second of wall clock.
+	Throughput float64
+	// Speedup is Throughput relative to the 1-client point (or the first
+	// point when the sweep does not include 1).
+	Speedup float64
+	// MeanIOsPerTx is the exact phase headline (DiskDelta / Transactions).
+	MeanIOsPerTx float64
+	// P50, P95 and P99 are response-time quantiles in microseconds, from
+	// the phase's reservoir samples.
+	P50, P95, P99 float64
+	// Metrics is the full phase aggregate, including per-type counts and
+	// per-type latency reservoirs (Metrics.PerType[t].ResponseQ).
+	Metrics *PhaseMetrics
+}
+
+// ScalabilityResult is a full sweep over one shared database.
+type ScalabilityResult struct {
+	Points []ScalabilityPoint
+	// Shards is the store lock-sharding degree the sweep ran with.
+	Shards int
+}
+
+// Speedup returns the speedup of the point measured at n clients, or 0
+// when the sweep has no such point.
+func (r *ScalabilityResult) Speedup(n int) float64 {
+	for _, pt := range r.Points {
+		if pt.Clients == n {
+			return pt.Speedup
+		}
+	}
+	return 0
+}
+
+// RunScalability sweeps CLIENTN over one shared database and store,
+// measuring throughput, speedup versus one client, exact per-phase I/O and
+// response-time quantiles at every point. The store is resharded for the
+// sweep (multi-client points would otherwise serialize on a single-shard
+// store built for CLIENTN = 1); each point replays the same per-client
+// transaction streams from a cold cache, so the only variable across rows
+// is concurrency.
+func RunScalability(db *Database, o ScalabilityOptions) (*ScalabilityResult, error) {
+	clients := o.Clients
+	if len(clients) == 0 {
+		clients = DefaultScalabilityClients
+	}
+	txPerClient := o.TxPerClient
+	if txPerClient <= 0 {
+		txPerClient = 100
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	maxClients := 0
+	for _, c := range clients {
+		if c < 1 {
+			return nil, fmt.Errorf("ocb: scalability sweep with %d clients", c)
+		}
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = 1
+		for shards < 2*maxClients {
+			shards *= 2
+		}
+	}
+	if err := db.Store.Reshard(shards); err != nil {
+		return nil, err
+	}
+
+	// Restore the database's own protocol parameters afterwards; the sweep
+	// borrows ClientN/Think/OpenLoop from the options.
+	saved := db.P
+	defer func() { db.P = saved }()
+	db.P.Think = o.Think
+	db.P.OpenLoop = o.OpenLoop
+
+	res := &ScalabilityResult{Shards: db.Store.Shards()}
+	for _, c := range clients {
+		db.P.ClientN = c
+		if !o.KeepCache {
+			db.Store.DropCache()
+		}
+		r := NewRunner(db, nil)
+		m, err := r.RunPhase(fmt.Sprintf("scale-%d", c), txPerClient, seed)
+		if err != nil {
+			return nil, fmt.Errorf("ocb: scalability at %d clients: %w", c, err)
+		}
+		pt := ScalabilityPoint{
+			Clients:      c,
+			Transactions: m.Transactions,
+			Duration:     m.Duration,
+			MeanIOsPerTx: m.MeanIOsPerTx(),
+			P50:          m.Global.ResponseQ.Median(),
+			P95:          m.Global.ResponseQ.P95(),
+			P99:          m.Global.ResponseQ.P99(),
+			Metrics:      m,
+		}
+		if s := m.Duration.Seconds(); s > 0 {
+			pt.Throughput = float64(m.Transactions) / s
+		}
+		res.Points = append(res.Points, pt)
+	}
+	// Speedups are relative to the 1-client point wherever it appears in
+	// the sweep (the first point when the sweep has none), so every row
+	// shares one baseline.
+	base := res.Points[0].Throughput
+	for _, pt := range res.Points {
+		if pt.Clients == 1 {
+			base = pt.Throughput
+			break
+		}
+	}
+	if base > 0 {
+		for i := range res.Points {
+			res.Points[i].Speedup = res.Points[i].Throughput / base
+		}
+	}
+	return res, nil
+}

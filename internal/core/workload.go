@@ -97,8 +97,19 @@ func NewExecutor(db *Database, policy cluster.Policy, src *lewis.Source) *Execut
 	return &Executor{DB: db, Policy: policy, Src: src}
 }
 
+// mutating reports whether the transaction restructures the in-memory
+// object graph (and therefore needs the database's exclusive lock).
+func (tx Transaction) mutating() bool {
+	return tx.Type == InsertOp || tx.Type == DeleteOp
+}
+
 // Exec runs one transaction, returning objects accessed, I/Os charged to
 // the transaction class, and wall-clock duration.
+//
+// Concurrency: read-only transaction types share-lock the database's graph
+// lock, so traversals from many clients proceed in parallel; insertions
+// and deletions take it exclusively (they restructure Objects, iterators
+// and BackRefs). Store-level faulting is internally sharded.
 //
 // I/O attribution note: the I/O delta is read from the shared disk
 // counters, so with CLIENTN > 1 concurrent clients the per-transaction
@@ -106,7 +117,14 @@ func NewExecutor(db *Database, policy cluster.Policy, src *lewis.Source) *Execut
 // remain exact. With one client the figure is exact (the configuration of
 // every experiment in the paper's Section 4).
 func (e *Executor) Exec(tx Transaction) (TxResult, error) {
-	before := e.DB.Store.Stats()
+	if tx.mutating() {
+		e.DB.mu.Lock()
+		defer e.DB.mu.Unlock()
+	} else {
+		e.DB.mu.RLock()
+		defer e.DB.mu.RUnlock()
+	}
+	before := e.DB.Store.DiskStats()
 	start := time.Now()
 
 	// Under the generic workload, deletions may have invalidated the
@@ -156,10 +174,10 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 		e.Policy.EndTransaction()
 	}
 
-	after := e.DB.Store.Stats()
+	after := e.DB.Store.DiskStats()
 	return TxResult{
 		ObjectsAccessed: accessed,
-		IOs:             after.Disk.TransactionIOs() - before.Disk.TransactionIOs(),
+		IOs:             after.TransactionIOs() - before.TransactionIOs(),
 		Duration:        time.Since(start),
 	}, nil
 }

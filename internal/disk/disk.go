@@ -12,6 +12,12 @@
 // The disk is a simulation — pages hold slot directories (object id + size)
 // rather than real bytes, because OCB objects carry only a synthetic Filler
 // payload whose single observable property is its size.
+//
+// Concurrency: the device is safe for concurrent use by many clients. The
+// page catalog is guarded by a read/write mutex (reads and writes of
+// existing pages only share-lock it; allocation and deallocation take it
+// exclusively), and all I/O counters are atomic, so concurrent benchmark
+// clients never serialize on statistics updates.
 package disk
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize matches the 4 KB pages of the paper's testbed.
@@ -146,17 +153,23 @@ var (
 	ErrPageExists = errors.New("disk: page already exists")
 )
 
-// Disk is a simulated paged storage device. It is safe for concurrent use.
+// Disk is a simulated paged storage device. It is safe for concurrent use;
+// page lookups take a shared lock and counters are atomic, so concurrent
+// readers proceed in parallel.
 type Disk struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards pages and next
 	pageSize int
 	pages    map[PageID]*Page
 	next     PageID
-	stats    Stats
-	class    IOClass
+
+	reads  [numClasses]atomic.Uint64
+	writes [numClasses]atomic.Uint64
+	class  atomic.Int32
 
 	// FailureHook, if set, is consulted before every I/O; a non-nil error
 	// aborts the operation without charging it. Used for fault injection.
+	// Set it only while the disk is quiescent; with concurrent clients the
+	// hook itself must be safe for concurrent use.
 	FailureHook func(op Op, id PageID) error
 }
 
@@ -189,44 +202,55 @@ func (d *Disk) Allocate() *Page {
 
 // Read fetches a page, charging one read I/O to the current class.
 func (d *Disk) Read(id PageID) (*Page, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.FailureHook != nil {
-		if err := d.FailureHook(OpRead, id); err != nil {
+	d.mu.RLock()
+	hook := d.FailureHook
+	p, ok := d.pages[id]
+	d.mu.RUnlock()
+	if hook != nil {
+		if err := hook(OpRead, id); err != nil {
 			return nil, err
 		}
 	}
-	p, ok := d.pages[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchPage, id)
 	}
-	d.stats.Reads[d.class]++
+	d.reads[d.class.Load()].Add(1)
 	return p, nil
 }
 
 // Write persists a page, charging one write I/O to the current class.
 // The page must have been allocated on this disk.
 func (d *Disk) Write(p *Page) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.FailureHook != nil {
-		if err := d.FailureHook(OpWrite, p.ID); err != nil {
+	d.mu.RLock()
+	hook := d.FailureHook
+	cur, ok := d.pages[p.ID]
+	d.mu.RUnlock()
+	if hook != nil {
+		if err := hook(OpWrite, p.ID); err != nil {
 			return err
 		}
 	}
-	if _, ok := d.pages[p.ID]; !ok {
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchPage, p.ID)
 	}
-	d.pages[p.ID] = p
-	d.stats.Writes[d.class]++
+	if cur != p {
+		// The caller holds a detached copy (physical reorganization paths);
+		// install it as the canonical page.
+		d.mu.Lock()
+		if _, still := d.pages[p.ID]; still {
+			d.pages[p.ID] = p
+		}
+		d.mu.Unlock()
+	}
+	d.writes[d.class.Load()].Add(1)
 	return nil
 }
 
 // Peek returns a page without charging any I/O. It is intended for
 // integrity checks and tests, not for the data path.
 func (d *Disk) Peek(id PageID) (*Page, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	p, ok := d.pages[id]
 	return p, ok
 }
@@ -241,15 +265,15 @@ func (d *Disk) Free(id PageID) {
 
 // NumPages returns the number of allocated pages.
 func (d *Disk) NumPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.pages)
 }
 
 // PageIDs returns all allocated page ids in ascending order.
 func (d *Disk) PageIDs() []PageID {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	ids := make([]PageID, 0, len(d.pages))
 	for id := range d.pages {
 		ids = append(ids, id)
@@ -259,29 +283,27 @@ func (d *Disk) PageIDs() []PageID {
 }
 
 // SetClass routes subsequent I/O charges to the given class.
-func (d *Disk) SetClass(c IOClass) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.class = c
-}
+func (d *Disk) SetClass(c IOClass) { d.class.Store(int32(c)) }
 
 // Class returns the current I/O class.
-func (d *Disk) Class() IOClass {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.class
-}
+func (d *Disk) Class() IOClass { return IOClass(d.class.Load()) }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. Under concurrent load the
+// snapshot is a sum of atomic counters, not a single instant: counters read
+// later may include I/Os issued after counters read earlier.
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	var s Stats
+	for i := 0; i < int(numClasses); i++ {
+		s.Reads[i] = d.reads[i].Load()
+		s.Writes[i] = d.writes[i].Load()
+	}
+	return s
 }
 
 // ResetStats zeroes the I/O counters.
 func (d *Disk) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	for i := 0; i < int(numClasses); i++ {
+		d.reads[i].Store(0)
+		d.writes[i].Store(0)
+	}
 }

@@ -35,7 +35,10 @@ func (d *Disk) Import(s *Snapshot) {
 		cp := &Page{ID: p.ID, Used: p.Used, Slots: append([]Slot(nil), p.Slots...)}
 		d.pages[cp.ID] = cp
 	}
-	d.stats = Stats{}
+	for i := 0; i < int(numClasses); i++ {
+		d.reads[i].Store(0)
+		d.writes[i].Store(0)
+	}
 }
 
 // pageIDsLocked returns ascending page ids; caller holds d.mu.

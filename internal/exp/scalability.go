@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ocb/internal/core"
+	"ocb/internal/report"
+)
+
+// Scalability runs the multi-client scalability sweep over one shared
+// sharded store: CLIENTN in {1, 2, 4, 8, 16}, closed-loop think time, same
+// per-client transaction streams at every point. It reports throughput,
+// speedup versus one client and response-time quantiles — the harness the
+// tentpole concurrency work is judged by. Unlike the A3 ablation (which
+// regenerates a database per row to show cache pollution), every row here
+// shares one database, so the only variable is concurrency.
+func Scalability(c Config) (*report.Table, error) {
+	p := scalabilityParams(c)
+	txPerClient := 200
+	think := 2 * time.Millisecond
+	if c.Quick {
+		txPerClient = 50
+	}
+	db, err := core.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("scalability: %w", err)
+	}
+	res, err := core.RunScalability(db, core.ScalabilityOptions{
+		TxPerClient: txPerClient,
+		Think:       think,
+		Seed:        8191 + c.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scalability: %w", err)
+	}
+	t := report.New("Scalability — CLIENTN sweep over one sharded store",
+		"Clients", "Transactions", "Wall time", "Tx/s", "Speedup",
+		"Mean I/Os per tx", "p50 µs", "p95 µs", "p99 µs")
+	for _, pt := range res.Points {
+		t.AddRow(report.Int(pt.Clients), report.I64(pt.Transactions),
+			report.Dur(pt.Duration), report.F1(pt.Throughput), report.F2(pt.Speedup),
+			report.F1(pt.MeanIOsPerTx),
+			report.F1(pt.P50), report.F1(pt.P95), report.F1(pt.P99))
+	}
+	t.AddNote("shared database, %d store shards, %s closed-loop think time per tx",
+		res.Shards, think)
+	t.AddNote("identical per-client streams at every point; speedup is tx/s vs 1 client")
+	return t, nil
+}
+
+// scalabilityParams is the sweep geometry: the Table 3 database with the
+// default four-type workload mix (the same recipe as the A3 ablation).
+func scalabilityParams(c Config) core.Params {
+	p := c.mimicParams()
+	d := core.DefaultParams()
+	p.PSet, p.PSimple, p.PHier, p.PStoch = d.PSet, d.PSimple, d.PHier, d.PStoch
+	p.SetDepth, p.SimDepth, p.HieDepth, p.StoDepth = d.SetDepth, d.SimDepth, d.HieDepth, d.StoDepth
+	return p
+}

@@ -10,14 +10,21 @@ import (
 // tell the same story: every table entry's pages exist and hold the
 // object, every slot on every page belongs to a live object, page byte
 // accounting matches slot sums, and no object appears twice. It charges
-// no I/O. Intended for tests and offline verification (ocbgen).
+// no I/O and excludes every concurrent access while it runs. Intended for
+// tests and offline verification (ocbgen).
 func (s *Store) CheckIntegrity() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// Table -> pages.
+	// Table -> pages. Build a flat copy first so page checks need no shard
+	// locks.
+	table := make(map[OID]*loc)
+	_ = s.forEachLoc(func(oid OID, l *loc) error {
+		table[oid] = l
+		return nil
+	})
 	claimed := make(map[disk.PageID]map[OID]bool)
-	for oid, l := range s.table {
+	for oid, l := range table {
 		if len(l.pages) == 0 {
 			return fmt.Errorf("store: object %d has no pages", oid)
 		}
@@ -50,7 +57,7 @@ func (s *Store) CheckIntegrity() error {
 		for _, slot := range pg.Slots {
 			sum += slot.Size
 			oid := OID(slot.Object)
-			l, ok := s.table[oid]
+			l, ok := table[oid]
 			if !ok {
 				return fmt.Errorf("store: page %d holds unknown object %d", pid, oid)
 			}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 
 	"ocb/internal/disk"
 )
@@ -25,7 +26,8 @@ type ImageObject struct {
 }
 
 // Image captures the store's persistent state. Dirty pages are flushed
-// first so the image is self-consistent.
+// first so the image is self-consistent. Snapshotting is a stop-the-world
+// operation: it excludes every concurrent access.
 func (s *Store) Image() (*Image, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -37,17 +39,21 @@ func (s *Store) Image() (*Image, error) {
 			PageSize:    s.disk.PageSize(),
 			BufferPages: s.pool.Capacity(),
 			Policy:      s.pool.Policy(),
+			Shards:      len(s.tables),
 		},
 		Disk:    s.disk.Export(),
-		NextOID: s.next,
+		NextOID: OID(s.next.Load()),
 	}
-	for oid, l := range s.table {
+	_ = s.forEachLoc(func(oid OID, l *loc) error {
 		img.Objects = append(img.Objects, ImageObject{
 			OID:   oid,
 			Size:  l.size,
 			Pages: append([]disk.PageID(nil), l.pages...),
 		})
-	}
+		return nil
+	})
+	// Shard iteration order is arbitrary; canonicalize for stable images.
+	sort.Slice(img.Objects, func(i, j int) bool { return img.Objects[i].OID < img.Objects[j].OID })
 	return img, nil
 }
 
@@ -62,25 +68,28 @@ func FromImage(img *Image) (*Store, error) {
 		return nil, err
 	}
 	s.disk.Import(img.Disk)
-	s.next = img.NextOID
-	s.table = make(map[OID]*loc, len(img.Objects))
+	s.next.Store(uint64(img.NextOID))
 	for _, o := range img.Objects {
 		if len(o.Pages) == 0 {
 			return nil, fmt.Errorf("store: image object %d has no pages", o.OID)
 		}
-		s.table[o.OID] = &loc{pages: append([]disk.PageID(nil), o.Pages...), size: o.Size}
+		s.setLoc(o.OID, &loc{pages: append([]disk.PageID(nil), o.Pages...), size: o.Size})
 	}
 	// Verify the directory agrees with the pages.
-	for oid, l := range s.table {
+	err = s.forEachLoc(func(oid OID, l *loc) error {
 		for _, pid := range l.pages {
 			pg, ok := s.disk.Peek(pid)
 			if !ok {
-				return nil, fmt.Errorf("store: image object %d references missing page %d", oid, pid)
+				return fmt.Errorf("store: image object %d references missing page %d", oid, pid)
 			}
 			if !pg.Has(uint64(oid)) {
-				return nil, fmt.Errorf("store: image object %d not on page %d", oid, pid)
+				return fmt.Errorf("store: image object %d not on page %d", oid, pid)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -14,9 +14,30 @@
 //   - Relocate, the physical-reorganization primitive clustering policies
 //     use, with its I/O cost charged to the clustering overhead class.
 //
-// The store is safe for concurrent use by multiple benchmark clients; all
-// operations serialize on one mutex, which mirrors the single-disk,
-// single-memory testbed of the paper.
+// # Concurrency
+//
+// The store is safe for concurrent use by multiple benchmark clients and,
+// unlike the paper's single-disk testbed, actually scales with them. Locking
+// is layered:
+//
+//   - A structural read/write mutex. Per-object operations (Create, Access,
+//     Update, Delete, lookups, Stats) only share-lock it; stop-the-world
+//     operations — Relocate, Commit, DropCache, Image, Layout,
+//     CheckIntegrity, Reshard, ResetStats — take it exclusively, so a
+//     physical reorganization never observes a half-applied mutation.
+//   - The OID→location table is sharded by OID hash, one mutex per shard.
+//   - The buffer pool is a buffer.Sharded: page ids hash to independently
+//     locked sub-pools; all slot-directory edits happen under the owning
+//     pool shard's lock.
+//   - Creation-order placement (the shared fill page) serializes creators
+//     and deleters on one placement mutex; accessors are unaffected.
+//   - Global counters (objects accessed, disk I/O, pool hit/miss) are
+//     atomic or per-shard.
+//
+// With Config.Shards <= 1 every data structure collapses to its
+// single-shard form and the store behaves bit-for-bit like the original
+// globally locked implementation, which keeps single-client runs exactly
+// reproducible.
 package store
 
 import (
@@ -24,6 +45,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ocb/internal/buffer"
 	"ocb/internal/disk"
@@ -59,6 +81,11 @@ type Config struct {
 	BufferPages int
 	// Policy is the replacement policy; default LRU.
 	Policy buffer.Policy
+	// Shards is the lock-sharding degree for the object table and the
+	// buffer pool (rounded to a power of two). Default 1, which reproduces
+	// the original single-mutex behaviour exactly; multi-client runs want
+	// a small multiple of the client count.
+	Shards int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -68,11 +95,17 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BufferPages < 0 {
 		return c, fmt.Errorf("store: negative buffer size %d", c.BufferPages)
 	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("store: negative shard count %d", c.Shards)
+	}
 	if c.PageSize == 0 {
 		c.PageSize = disk.DefaultPageSize
 	}
 	if c.BufferPages == 0 {
 		c.BufferPages = 512
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c, nil
 }
@@ -97,14 +130,29 @@ type RelocStats struct {
 
 // Store is a paged persistent object store with exact I/O accounting.
 type Store struct {
-	mu    sync.Mutex
-	disk  *disk.Disk
-	pool  *buffer.Pool
-	table map[OID]*loc
-	fill  *disk.Page // current creation-order fill target
-	next  OID
+	// mu is the structural lock: per-object operations share it, physical
+	// reorganization and snapshotting exclude everything.
+	mu   sync.RWMutex
+	disk *disk.Disk
+	pool *buffer.Sharded
 
-	objectsAccessed uint64
+	tables []tableShard
+	tmask  uint32
+
+	// placeMu serializes creation-order placement (the fill page) and
+	// page emptying on delete.
+	placeMu sync.Mutex
+	fill    *disk.Page // current creation-order fill target
+
+	next            atomic.Uint64 // next OID to issue
+	objectsAccessed atomic.Uint64
+}
+
+// tableShard is one lock-striped slice of the OID→location table.
+type tableShard struct {
+	mu sync.Mutex
+	m  map[OID]*loc
+	_  [48]byte // pad to 64 bytes so adjacent shard locks do not false-share
 }
 
 type loc struct {
@@ -128,16 +176,33 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	d := disk.New(cfg.PageSize)
-	p, err := buffer.New(d, cfg.BufferPages, cfg.Policy)
+	p, err := buffer.NewSharded(d, cfg.BufferPages, cfg.Policy, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
-		disk:  d,
-		pool:  p,
-		table: make(map[OID]*loc),
-		next:  1,
-	}, nil
+	s := &Store{
+		disk: d,
+		pool: p,
+	}
+	s.initTables(cfg.Shards)
+	s.next.Store(1)
+	return s, nil
+}
+
+// initTables builds the table shards (n rounded down to a power of two).
+func (s *Store) initTables(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	s.tables = make([]tableShard, p)
+	s.tmask = uint32(p - 1)
+	for i := range s.tables {
+		s.tables[i].m = make(map[OID]*loc)
+	}
 }
 
 // MustOpen is Open for known-good configurations; it panics on error.
@@ -153,31 +218,88 @@ func MustOpen(cfg Config) *Store {
 func (s *Store) Disk() *disk.Disk { return s.disk }
 
 // Pool exposes the buffer pool (for stats and geometry experiments).
-func (s *Store) Pool() *buffer.Pool { return s.pool }
+func (s *Store) Pool() *buffer.Sharded { return s.pool }
 
 // PageSize returns the disk page size.
 func (s *Store) PageSize() int { return s.disk.PageSize() }
+
+// Shards returns the lock-sharding degree of the object table.
+func (s *Store) Shards() int { return len(s.tables) }
+
+// tableFor returns the shard owning an OID.
+func (s *Store) tableFor(oid OID) *tableShard {
+	// Sequential OIDs round-robin across shards; the low bits are already
+	// uniform for hash purposes.
+	return &s.tables[uint32(oid)&s.tmask]
+}
+
+// lookup returns the location of an OID.
+func (s *Store) lookup(oid OID) (*loc, bool) {
+	sh := s.tableFor(oid)
+	sh.mu.Lock()
+	l, ok := sh.m[oid]
+	sh.mu.Unlock()
+	return l, ok
+}
+
+// setLoc installs a location.
+func (s *Store) setLoc(oid OID, l *loc) {
+	sh := s.tableFor(oid)
+	sh.mu.Lock()
+	sh.m[oid] = l
+	sh.mu.Unlock()
+}
+
+// takeLoc removes and returns a location; a second concurrent take of the
+// same OID fails, which is what makes Delete linearizable.
+func (s *Store) takeLoc(oid OID) (*loc, bool) {
+	sh := s.tableFor(oid)
+	sh.mu.Lock()
+	l, ok := sh.m[oid]
+	if ok {
+		delete(sh.m, oid)
+	}
+	sh.mu.Unlock()
+	return l, ok
+}
+
+// forEachLoc visits every table entry (shard by shard, each under its
+// lock). fn must not call back into the table.
+func (s *Store) forEachLoc(fn func(OID, *loc) error) error {
+	for i := range s.tables {
+		sh := &s.tables[i]
+		sh.mu.Lock()
+		for oid, l := range sh.m {
+			if err := fn(oid, l); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
 
 // Create allocates a new object of the given payload size (header added
 // internally) placed in creation order, returning its OID. Objects larger
 // than a page span a run of dedicated pages (Texas maps large objects onto
 // page runs the same way); accessing such an object faults every page of
-// the run.
+// the run. Creators (and deleters) serialize on the placement lock;
+// concurrent accessors are unaffected.
 func (s *Store) Create(payloadSize int) (OID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if payloadSize < 0 {
 		return NilOID, ErrBadSize
 	}
 	size := payloadSize + ObjectHeaderSize
-	oid := s.next
-	s.next++
+	oid := OID(s.next.Add(1) - 1)
 	if size > s.disk.PageSize() {
 		pages, err := s.placeLarge(oid, size)
 		if err != nil {
 			return NilOID, err
 		}
-		s.table[oid] = &loc{pages: pages, size: size}
+		s.setLoc(oid, &loc{pages: pages, size: size})
 		return oid, nil
 	}
 	if err := s.place(oid, size); err != nil {
@@ -187,7 +309,8 @@ func (s *Store) Create(payloadSize int) (OID, error) {
 }
 
 // placeLarge allocates the dedicated page run of a large object and
-// installs it. Caller holds s.mu.
+// installs it. The pages are private until the table entry appears, so no
+// further locking is needed.
 func (s *Store) placeLarge(oid OID, size int) ([]disk.PageID, error) {
 	pageSize := s.disk.PageSize()
 	var pages []disk.PageID
@@ -209,101 +332,149 @@ func (s *Store) placeLarge(oid OID, size int) ([]disk.PageID, error) {
 }
 
 // place appends the object to the current fill page, starting a new page
-// when it does not fit. Caller holds s.mu.
+// when it does not fit. Caller holds s.mu (shared); placeMu serializes the
+// fill page, and the slot edit itself happens under the owning pool
+// shard's lock so it cannot race a concurrent eviction or delete.
 func (s *Store) place(oid OID, size int) error {
-	if s.fill == nil || !s.fill.Add(uint64(oid), size, s.disk.PageSize()) {
-		s.fill = s.disk.Allocate()
-		if !s.fill.Add(uint64(oid), size, s.disk.PageSize()) {
-			return fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, size)
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	for {
+		if s.fill == nil {
+			pg := s.disk.Allocate()
+			// The page is private until installed: no table entry names it.
+			if !pg.Add(uint64(oid), size, s.disk.PageSize()) {
+				return fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, size)
+			}
+			if err := s.pool.Install(pg); err != nil {
+				return err
+			}
+			s.fill = pg
+			s.setLoc(oid, &loc{pages: []disk.PageID{pg.ID}, size: size})
+			return nil
 		}
-		if err := s.pool.Install(s.fill); err != nil {
+		added := false
+		// UpdateNoFault edits an evicted fill page in place without
+		// re-reading it, exactly as the original single-mutex store did —
+		// creation placement charges no I/O beyond the initial install.
+		err := s.pool.UpdateNoFault(s.fill.ID, func(pg *disk.Page) bool {
+			added = pg.Add(uint64(oid), size, s.disk.PageSize())
+			return added
+		})
+		if err != nil {
 			return err
 		}
-	} else {
-		s.pool.MarkDirty(s.fill.ID)
+		if added {
+			s.setLoc(oid, &loc{pages: []disk.PageID{s.fill.ID}, size: size})
+			return nil
+		}
+		s.fill = nil // page full; start a new one
 	}
-	s.table[oid] = &loc{pages: []disk.PageID{s.fill.ID}, size: size}
-	return nil
+}
+
+// faultErr translates a page-fault failure observed while touching oid's
+// page run: if the object vanished mid-operation (a concurrent Delete won
+// the race and freed the page), the caller sees ErrNoSuchObject, exactly
+// as if the delete had completed first; any other failure passes through.
+func (s *Store) faultErr(oid OID, err error) error {
+	if errors.Is(err, disk.ErrNoSuchPage) {
+		if _, ok := s.lookup(oid); !ok {
+			return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+		}
+	}
+	return err
 }
 
 // Access faults the object's page into memory (the analogue of
 // dereferencing a swizzled pointer in Texas) and counts one object access.
 func (s *Store) Access(oid OID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lookup(oid)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
 	}
 	for _, pg := range l.pages {
 		if _, err := s.pool.Get(pg); err != nil {
-			return err
+			return s.faultErr(oid, err)
 		}
 	}
-	s.objectsAccessed++
+	s.objectsAccessed.Add(1)
 	return nil
 }
 
 // Update is Access plus marking the page dirty (an in-place modification).
 func (s *Store) Update(oid OID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lookup(oid)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
 	}
 	for _, pg := range l.pages {
-		if _, err := s.pool.Get(pg); err != nil {
-			return err
+		if err := s.pool.Update(pg, func(*disk.Page) bool { return true }); err != nil {
+			return s.faultErr(oid, err)
 		}
-		s.pool.MarkDirty(pg)
 	}
-	s.objectsAccessed++
+	s.objectsAccessed.Add(1)
 	return nil
 }
 
 // Delete removes an object; its page is read (to be updated), shrunk and
-// marked dirty. An emptied page is freed.
+// marked dirty. An emptied page is freed. The table entry disappears
+// first, so a concurrent Access of the same OID either completes before
+// the delete or observes ErrNoSuchObject — an OID never resurrects. If
+// the first page fault fails (fault injection), the table entry is
+// reinstated and the object stays fully intact and retriable; a failure
+// partway through a large object's page run leaves the object deleted
+// with its remaining pages unreclaimed (the same torn state a mid-delete
+// crash leaves on a real device).
 func (s *Store) Delete(oid OID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.takeLoc(oid)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
 	}
-	for _, pid := range l.pages {
-		pg, err := s.pool.Get(pid)
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	for i, pid := range l.pages {
+		fate, err := s.pool.Mutate(pid, func(pg *disk.Page) buffer.PageFate {
+			pg.Remove(uint64(oid))
+			if len(pg.Slots) == 0 {
+				return buffer.Drop
+			}
+			return buffer.KeepDirty
+		})
 		if err != nil {
+			if i == 0 {
+				// Nothing was mutated yet: roll the delete back.
+				s.setLoc(oid, l)
+			}
 			return err
 		}
-		pg.Remove(uint64(oid))
-		if len(pg.Slots) == 0 {
-			s.pool.Discard(pg.ID)
-			s.disk.Free(pg.ID)
-			if s.fill != nil && s.fill.ID == pg.ID {
+		if fate == buffer.Drop {
+			if s.fill != nil && s.fill.ID == pid {
 				s.fill = nil
 			}
-		} else {
-			s.pool.MarkDirty(pg.ID)
+			s.disk.Free(pid)
 		}
 	}
-	delete(s.table, oid)
 	return nil
 }
 
 // Exists reports whether the OID names a live object.
 func (s *Store) Exists(oid OID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.lookup(oid)
 	return ok
 }
 
 // SizeOf returns the on-disk size of the object (header included).
 func (s *Store) SizeOf(oid OID) (int, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lookup(oid)
 	if !ok {
 		return 0, false
 	}
@@ -312,9 +483,9 @@ func (s *Store) SizeOf(oid OID) (int, bool) {
 
 // PageOf returns the (first) page currently holding the object.
 func (s *Store) PageOf(oid OID) (disk.PageID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lookup(oid)
 	if !ok {
 		return 0, false
 	}
@@ -323,9 +494,9 @@ func (s *Store) PageOf(oid OID) (disk.PageID, bool) {
 
 // PagesOf returns the object's whole page run.
 func (s *Store) PagesOf(oid OID) ([]disk.PageID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.table[oid]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lookup(oid)
 	if !ok {
 		return nil, false
 	}
@@ -334,15 +505,24 @@ func (s *Store) PagesOf(oid OID) ([]disk.PageID, bool) {
 
 // NumObjects returns the number of live objects.
 func (s *Store) NumObjects() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.table)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for i := range s.tables {
+		sh := &s.tables[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // NumPages returns the number of allocated pages.
 func (s *Store) NumPages() int { return s.disk.NumPages() }
 
-// Commit flushes all dirty pages (transaction commit).
+// Commit flushes all dirty pages (transaction commit). Commit is a
+// stop-the-world operation: it excludes every in-flight access so the
+// flushed image is a consistent cut.
 func (s *Store) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -361,15 +541,33 @@ func (s *Store) DropCache() {
 // SetIOClass routes subsequent disk I/O charges (transaction/clustering).
 func (s *Store) SetIOClass(c disk.IOClass) { s.disk.SetClass(c) }
 
-// Stats returns a snapshot of all counters.
+// DiskStats returns the disk I/O counters without touching any lock; it is
+// the accessor transaction executors sample before and after every
+// transaction.
+func (s *Store) DiskStats() disk.Stats { return s.disk.Stats() }
+
+// ObjectsAccessed returns the running object-access count.
+func (s *Store) ObjectsAccessed() uint64 { return s.objectsAccessed.Load() }
+
+// Stats returns a snapshot of all counters. Under concurrent load the
+// counters are gathered shard by shard, so the snapshot is additive rather
+// than instantaneous; phase totals taken while clients are quiescent are
+// exact.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for i := range s.tables {
+		sh := &s.tables[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
 	return Stats{
 		Disk:            s.disk.Stats(),
 		Pool:            s.pool.Stats(),
-		ObjectsAccessed: s.objectsAccessed,
-		Objects:         len(s.table),
+		ObjectsAccessed: s.objectsAccessed.Load(),
+		Objects:         n,
 		Pages:           s.disk.NumPages(),
 	}
 }
@@ -380,7 +578,39 @@ func (s *Store) ResetStats() {
 	defer s.mu.Unlock()
 	s.disk.ResetStats()
 	s.pool.ResetStats()
-	s.objectsAccessed = 0
+	s.objectsAccessed.Store(0)
+}
+
+// Reshard rebuilds the lock sharding to the given degree (rounded to a
+// power of two), redistributing the object table and replacing the buffer
+// pool with an equally sized sharded pool. Dirty pages are flushed first;
+// the cache restarts cold, pool counters restart from zero (disk and
+// object-access counters are untouched), and the current fill page is
+// abandoned, so the next Create starts a fresh page.
+func (s *Store) Reshard(shards int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if shards < 1 {
+		return fmt.Errorf("store: reshard to %d shards", shards)
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	pool, err := buffer.NewSharded(s.disk, s.pool.Capacity(), s.pool.Policy(), shards)
+	if err != nil {
+		return err
+	}
+	old := s.tables
+	s.initTables(shards)
+	for i := range old {
+		for oid, l := range old[i].m {
+			sh := s.tableFor(oid)
+			sh.m[oid] = l
+		}
+	}
+	s.pool = pool
+	s.fill = nil
+	return nil
 }
 
 // Relocate applies a clustering layout: each cluster's objects are placed
@@ -389,7 +619,8 @@ func (s *Store) ResetStats() {
 // the clustering I/O class: one read per distinct source page, one write
 // per source page that still holds objects afterwards, one write per new
 // page. Affected pages are dropped from the buffer pool (reorganization
-// happens "when the system is idle", §4.1 phase 5).
+// happens "when the system is idle", §4.1 phase 5) and the operation
+// excludes every concurrent access for its whole duration.
 func (s *Store) Relocate(clusters [][]OID) (RelocStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -405,16 +636,19 @@ func (s *Store) Relocate(clusters [][]OID) (RelocStats, error) {
 	moved := make(map[OID]bool)
 	var order []OID
 	var units [][]OID
+	locs := make(map[OID]*loc)
 	for _, cl := range clusters {
 		var unit []OID
 		for _, oid := range cl {
 			if oid == NilOID || moved[oid] {
 				continue
 			}
-			if _, ok := s.table[oid]; !ok {
+			l, ok := s.lookup(oid)
+			if !ok {
 				continue
 			}
 			moved[oid] = true
+			locs[oid] = l
 			order = append(order, oid)
 			unit = append(unit, oid)
 		}
@@ -429,7 +663,7 @@ func (s *Store) Relocate(clusters [][]OID) (RelocStats, error) {
 	// Read every distinct source page once and detach the moved objects.
 	srcPages := make(map[disk.PageID]*disk.Page)
 	for _, oid := range order {
-		l := s.table[oid]
+		l := locs[oid]
 		for _, pid := range l.pages {
 			if _, ok := srcPages[pid]; !ok {
 				pg, err := s.disk.Read(pid)
@@ -486,7 +720,7 @@ func (s *Store) Relocate(clusters [][]OID) (RelocStats, error) {
 	for _, unit := range units {
 		unitSize := 0
 		for _, oid := range unit {
-			unitSize += s.table[oid].size
+			unitSize += locs[oid].size
 		}
 		if cur != nil && unitSize <= pageSize && cur.Free(pageSize) < unitSize {
 			if err := flush(); err != nil {
@@ -494,7 +728,7 @@ func (s *Store) Relocate(clusters [][]OID) (RelocStats, error) {
 			}
 		}
 		for _, oid := range unit {
-			l := s.table[oid]
+			l := locs[oid]
 			if l.size > pageSize {
 				// Large objects keep dedicated page runs.
 				if err := flush(); err != nil {
