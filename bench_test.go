@@ -338,3 +338,101 @@ func BenchmarkStoreUpdateParallel(b *testing.B) {
 // BenchmarkScalabilitySweep regenerates the tentpole scalability table on
 // the quick geometry.
 func BenchmarkScalabilitySweep(b *testing.B) { benchTable(b, exp.Scalability) }
+
+// residentDB builds the fully resident database the fast-path benchmarks
+// run on: with the whole working set cached, time/op measures the
+// harness's own CPU cost per transaction — the overhead OCB's design says
+// must stay negligible.
+func residentDB(b *testing.B, clientN int) *core.Database {
+	b.Helper()
+	p := core.DefaultParams()
+	p.NO = 5000
+	p.SupRef = 5000
+	p.BufferPages = 4096
+	p.ClientN = clientN
+	db, err := core.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// warmPhaseTx is the per-iteration transaction count of the warm-phase
+// benchmarks; tx/s in their output is derived from it.
+const warmPhaseTx = 200
+
+// BenchmarkWarmTraversalPhase is the headline fast-path benchmark: one
+// warm phase of the default four-traversal mix per iteration, on a
+// resident database, replaying the identical transaction stream every
+// time. BENCH_baseline.json records its before/after numbers.
+func BenchmarkWarmTraversalPhase(b *testing.B) {
+	db := residentDB(b, 1)
+	r := core.NewRunner(db, nil)
+	if _, err := r.RunPhase("prewarm", 100, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := r.RunPhase("warm", warmPhaseTx, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Transactions != warmPhaseTx {
+			b.Fatalf("phase ran %d transactions, want %d", m.Transactions, warmPhaseTx)
+		}
+	}
+	b.ReportMetric(float64(b.N)*warmPhaseTx/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkWarmTraversalParallel is the RunParallel variant: GOMAXPROCS
+// executors share one resident database (sharded store geometry), each
+// drawing its own transaction stream.
+func BenchmarkWarmTraversalParallel(b *testing.B) {
+	db := residentDB(b, 8)
+	p := db.P
+	// Prewarm the cache so every worker measures the resident path.
+	r := core.NewRunner(db, nil)
+	if _, err := r.RunPhase("prewarm", 100, 1); err != nil {
+		b.Fatal(err)
+	}
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Distinct per-worker seeds, as in the store benchmarks.
+		src := lewis.New(3000 + worker.Add(1))
+		ex := core.NewExecutor(db, nil, src)
+		for pb.Next() {
+			tx := core.SampleTransaction(p, src)
+			if _, err := ex.Exec(tx); err != nil {
+				// Fatal must not run on a RunParallel worker.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkScanTransaction measures HyperModel's Sequential Scan over the
+// live set — the generic-workload operation that used to rebuild the full
+// live-OID slice twice per transaction.
+func BenchmarkScanTransaction(b *testing.B) {
+	db := residentDB(b, 1)
+	src := lewis.New(7)
+	ex := core.NewExecutor(db, nil, src)
+	if _, err := ex.Exec(core.Transaction{Type: core.ScanOp}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Exec(core.Transaction{Type: core.ScanOp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ObjectsAccessed != db.NumLive() {
+			b.Fatalf("scan touched %d objects, live set has %d", res.ObjectsAccessed, db.NumLive())
+		}
+	}
+}

@@ -146,6 +146,29 @@ func (s *Sharded) Get(id disk.PageID) (*disk.Page, error) {
 	return sh.pool.Get(id)
 }
 
+// GetBatch faults a run of pages in order, exactly as repeated Get calls
+// would — same hit/miss accounting, same eviction decisions — but runs of
+// consecutive ids mapping to the same shard are served under a single lock
+// acquisition. With one shard (the reproducible single-client geometry) the
+// whole batch costs one lock round-trip. It returns how many pages were
+// faulted successfully; on error, pages past the failing one are untouched.
+func (s *Sharded) GetBatch(ids []disk.PageID) (int, error) {
+	i := 0
+	for i < len(ids) {
+		sh := s.shard(ids[i])
+		sh.mu.Lock()
+		for i < len(ids) && s.shard(ids[i]) == sh {
+			if _, err := sh.pool.Get(ids[i]); err != nil {
+				sh.mu.Unlock()
+				return i, err
+			}
+			i++
+		}
+		sh.mu.Unlock()
+	}
+	return len(ids), nil
+}
+
 // GetIfResident returns the page only if it is already resident, counting
 // neither a hit nor a miss.
 func (s *Sharded) GetIfResident(id disk.PageID) (*disk.Page, bool) {

@@ -181,3 +181,86 @@ func TestShardedConcurrentGets(t *testing.T) {
 		t.Fatalf("disk reads = %d, want %d", got, pages)
 	}
 }
+
+// TestGetBatchMatchesSequentialGets replays one access trace through Get
+// calls on one pool and GetBatch chunks on an identically built one: the
+// batch path promises the exact hit/miss/eviction schedule of repeated
+// Gets, only with fewer lock acquisitions.
+func TestGetBatchMatchesSequentialGets(t *testing.T) {
+	mk := func() (*disk.Disk, []disk.PageID) {
+		d := disk.New(256)
+		ids := make([]disk.PageID, 20)
+		for i := range ids {
+			pg := d.Allocate()
+			pg.Add(uint64(i+1), 64, 256)
+			if err := d.Write(pg); err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = pg.ID
+		}
+		d.ResetStats()
+		return d, ids
+	}
+	for _, shards := range []int{1, 4} {
+		d1, ids1 := mk()
+		seq, err := NewSharded(d1, 8, LRU, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, ids2 := mk()
+		bat, err := NewSharded(d2, 8, LRU, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []disk.PageID
+		for i := 0; i < 200; i++ {
+			seqID := ids1[(i*7)%len(ids1)]
+			if _, err := seq.Get(seqID); err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, ids2[(i*7)%len(ids2)])
+			if len(batch) == 9 || i == 199 {
+				n, err := bat.GetBatch(batch)
+				if err != nil || n != len(batch) {
+					t.Fatalf("GetBatch = %d, %v", n, err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if seq.Stats() != bat.Stats() {
+			t.Fatalf("shards=%d: stats diverge: seq %+v, batch %+v", shards, seq.Stats(), bat.Stats())
+		}
+		if d1.Stats() != d2.Stats() {
+			t.Fatalf("shards=%d: disk I/O diverges", shards)
+		}
+	}
+}
+
+// TestGetBatchError checks that a bad id mid-batch faults the prefix and
+// reports how far it got.
+func TestGetBatchError(t *testing.T) {
+	d := disk.New(256)
+	var ids []disk.PageID
+	for i := 0; i < 3; i++ {
+		pg := d.Allocate()
+		pg.Add(uint64(i+1), 64, 256)
+		if err := d.Write(pg); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, pg.ID)
+	}
+	p, err := NewSharded(d, 8, LRU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.GetBatch([]disk.PageID{ids[0], disk.PageID(9999), ids[1]})
+	if err == nil {
+		t.Fatal("bad page id accepted")
+	}
+	if n != 1 {
+		t.Fatalf("faulted %d pages before the error, want 1", n)
+	}
+	if !p.Contains(ids[0]) || p.Contains(ids[1]) {
+		t.Fatal("prefix/suffix residency wrong after mid-batch error")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ocb/internal/lewis"
@@ -44,6 +45,16 @@ type Database struct {
 	// insertions and deletions (swap-remove list + index).
 	live    []store.OID
 	liveIdx map[store.OID]int
+
+	// liveSnap is the ascending-OID snapshot LiveOIDs serves without
+	// rebuilding an O(n) slice per call. Insertions extend it in place
+	// (OIDs are issued in increasing order, so sortedness is preserved);
+	// deletions invalidate it and the next LiveOIDs rebuilds lazily.
+	// snapMu guards the rebuild so concurrent readers (which only hold
+	// mu.RLock) do not race; liveSnapOK is the double-checked flag.
+	snapMu     sync.Mutex
+	liveSnap   []store.OID
+	liveSnapOK atomic.Bool
 
 	// mu guards the in-memory object graph (Objects, class iterators,
 	// BackRefs, the live set) against the generic workload's structural
@@ -176,9 +187,10 @@ func (db *Database) ClassOf(oid store.OID) (int, bool) {
 }
 
 // AllOIDs enumerates every live object id in ascending order, the
-// enumerator whole-database policies need.
+// enumerator whole-database policies need. Unlike LiveOIDs it returns a
+// fresh slice the caller may reorder freely.
 func (db *Database) AllOIDs() []store.OID {
-	return db.LiveOIDs()
+	return append([]store.OID(nil), db.LiveOIDs()...)
 }
 
 // CheckDatabase verifies the object-graph invariants: reference targets
@@ -189,8 +201,30 @@ func (db *Database) AllOIDs() []store.OID {
 func CheckDatabase(db *Database) error {
 	p := db.P
 	mutated := len(db.Objects)-1 != p.NO || db.NumLive() != p.NO
-	if !mutated && db.NO() != p.NO {
-		return fmt.Errorf("ocb: database has %d objects, want %d", db.NO(), p.NO)
+	// Live-set invariant: the swap-remove tracking structures and the
+	// ascending snapshot must agree with each other and with Objects.
+	if len(db.live) != len(db.liveIdx) {
+		return fmt.Errorf("ocb: live list holds %d entries, index %d", len(db.live), len(db.liveIdx))
+	}
+	for i, oid := range db.live {
+		if db.liveIdx[oid] != i {
+			return fmt.Errorf("ocb: live index for %d says %d, list position is %d", oid, db.liveIdx[oid], i)
+		}
+		if db.Object(oid) == nil {
+			return fmt.Errorf("ocb: live list names deleted object %d", oid)
+		}
+	}
+	snap := db.LiveOIDs()
+	if len(snap) != db.NumLive() {
+		return fmt.Errorf("ocb: live snapshot holds %d entries, live set says %d", len(snap), db.NumLive())
+	}
+	for i, oid := range snap {
+		if i > 0 && snap[i-1] >= oid {
+			return fmt.Errorf("ocb: live snapshot out of order at %d (%d >= %d)", i, snap[i-1], oid)
+		}
+		if _, ok := db.liveIdx[oid]; !ok {
+			return fmt.Errorf("ocb: live snapshot names untracked object %d", oid)
+		}
 	}
 	if db.Store.NumObjects() != db.NumLive() {
 		return fmt.Errorf("ocb: store holds %d objects, live set says %d",

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ocb/internal/lewis"
+)
+
+// TestTraversalFastPathAllocFree is the allocation regression gate of the
+// fast-path rewrite: once an executor's scratch is warm and the database
+// resident, no transaction type may allocate — per visited object or per
+// transaction — so the harness's own overhead stays out of the measured
+// response times.
+func TestTraversalFastPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector; allocation counts are not meaningful")
+	}
+	p := chainParams(3, 2000)
+	p.BufferPages = 2048 // resident: no eviction churn in the pool
+	db := MustGenerate(p)
+	ex := NewExecutor(db, nil, lewis.New(1))
+	for _, tc := range []struct {
+		name string
+		tx   Transaction
+	}{
+		{"set", Transaction{Type: SetAccess, Root: 1, Depth: 3}},
+		{"simple", Transaction{Type: SimpleTraversal, Root: 1, Depth: 3}},
+		{"hierarchy", Transaction{Type: HierarchyTraversal, Root: 1, Depth: 5, RefType: 1}},
+		{"stochastic", Transaction{Type: StochasticTraversal, Root: 1, Depth: 50}},
+		{"scan", Transaction{Type: ScanOp}},
+		{"range", Transaction{Type: RangeOp, Root: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ex.Exec(tc.tx); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				if _, err := ex.Exec(tc.tx); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("%s allocates %.1f per transaction, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestSetAccessReverseAllocFree covers the BackRef discovery path of the
+// batched breadth-first walk.
+func TestSetAccessReverseAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector; allocation counts are not meaningful")
+	}
+	p := chainParams(3, 2000)
+	p.BufferPages = 2048
+	db := MustGenerate(p)
+	ex := NewExecutor(db, nil, lewis.New(1))
+	tx := Transaction{Type: SetAccess, Root: 1, Depth: 3, Reverse: true}
+	if _, err := ex.Exec(tx); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := ex.Exec(tx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("reverse set access allocates %.1f per transaction, want 0", avg)
+	}
+}
+
+// TestSeenSetGenerations exercises the O(1)-reset membership scratch,
+// including the generation-counter wrap.
+func TestSeenSetGenerations(t *testing.T) {
+	var s seenSet
+	s.reset(10)
+	if !s.add(3) || s.add(3) {
+		t.Fatal("first add must report new, second must not")
+	}
+	s.reset(10)
+	if !s.add(3) {
+		t.Fatal("reset did not clear membership")
+	}
+	// Force the wrap: a stamp left at the old generation must not read as
+	// present after gen overflows back around.
+	s.add(7)
+	s.gen = ^uint32(0) // next reset wraps to 0 and triggers the epoch clear
+	s.reset(10)
+	if s.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", s.gen)
+	}
+	if !s.add(7) {
+		t.Fatal("stale stamp visible after generation wrap")
+	}
+	// Growing keeps membership semantics.
+	s.reset(100)
+	if !s.add(99) || s.add(99) {
+		t.Fatal("membership wrong after growth")
+	}
+}
+
+// phaseGold pins one phase's exact CLIENTN=1 measurements (captured from
+// the pre-rewrite implementation): transaction totals, per-type counts and
+// mean accessed objects, and the phase's disk-counter delta. Response
+// times are wall clock and therefore excluded. Floats are compared via
+// %.10g, which pins all digits the Welford accumulator reproduces
+// deterministically.
+type phaseGold struct {
+	tx            int64
+	reads, writes uint64
+	objMean       string
+	perType       map[TxType]typeGold
+}
+
+type typeGold struct {
+	count   int64
+	objMean string
+	ioMean  string
+}
+
+func checkPhaseGold(t *testing.T, tag string, m *PhaseMetrics, g phaseGold) {
+	t.Helper()
+	if m.Transactions != g.tx {
+		t.Errorf("%s: transactions = %d, want %d", tag, m.Transactions, g.tx)
+	}
+	if r := m.DiskDelta.Reads[0]; r != g.reads {
+		t.Errorf("%s: transaction reads = %d, want %d", tag, r, g.reads)
+	}
+	if w := m.DiskDelta.Writes[0]; w != g.writes {
+		t.Errorf("%s: transaction writes = %d, want %d", tag, w, g.writes)
+	}
+	if got := fmt.Sprintf("%.10g", m.Global.Objects.Mean()); got != g.objMean {
+		t.Errorf("%s: objects mean = %s, want %s", tag, got, g.objMean)
+	}
+	for typ, want := range g.perType {
+		tm := &m.PerType[typ]
+		if tm.Count != want.count {
+			t.Errorf("%s/%s: count = %d, want %d", tag, typ, tm.Count, want.count)
+		}
+		if got := fmt.Sprintf("%.10g", tm.Objects.Mean()); got != want.objMean {
+			t.Errorf("%s/%s: objects mean = %s, want %s", tag, typ, got, want.objMean)
+		}
+		if got := fmt.Sprintf("%.10g", tm.IOs.Mean()); got != want.ioMean {
+			t.Errorf("%s/%s: I/O mean = %s, want %s", tag, typ, got, want.ioMean)
+		}
+	}
+	for typ := TxType(0); typ < NumTxTypes; typ++ {
+		if _, pinned := g.perType[typ]; !pinned && m.PerType[typ].Count != 0 {
+			t.Errorf("%s/%s: unexpected transactions (%d)", tag, typ, m.PerType[typ].Count)
+		}
+	}
+}
+
+// TestPhaseMetricsGoldenCLIENTN1 replays two deterministic single-client
+// protocols — the clustering-oriented mix and the Section 5 generic mix —
+// and asserts the phase metrics are bit-identical to the values the
+// pre-rewrite executor produced on the same seeds. This is the contract of
+// the fast-path overhaul: faster, but measuring exactly the same workload.
+func TestPhaseMetricsGoldenCLIENTN1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden protocol replay skipped in -short mode")
+	}
+
+	p := DefaultParams()
+	p.NO = 2000
+	p.SupRef = 2000
+	p.ColdN = 200
+	p.HotN = 600
+	p.BufferPages = 64
+	p.Seed = 77
+	db := MustGenerate(p)
+	res, err := NewRunner(db, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPhaseGold(t, "clustering/cold", res.Cold, phaseGold{
+		tx: 200, reads: 57960, writes: 0, objMean: "360.045",
+		perType: map[TxType]typeGold{
+			SetAccess:           {53, "572.0188679", "474.2264151"},
+			SimpleTraversal:     {48, "699.6458333", "553.6666667"},
+			HierarchyTraversal:  {51, "111", "85.17647059"},
+			StochasticTraversal: {48, "51", "39.70833333"},
+		},
+	})
+	checkPhaseGold(t, "clustering/warm", res.Warm, phaseGold{
+		tx: 600, reads: 166416, writes: 0, objMean: "345.3166667",
+		perType: map[TxType]typeGold{
+			SetAccess:           {132, "558.6060606", "463.4848485"},
+			SimpleTraversal:     {153, "710.7581699", "563.0915033"},
+			HierarchyTraversal:  {150, "108.62", "83.02666667"},
+			StochasticTraversal: {165, "51", "40.17575758"},
+		},
+	})
+
+	g := GenericParams()
+	g.NO = 1500
+	g.SupRef = 1500
+	g.ColdN = 150
+	g.HotN = 400
+	g.BufferPages = 64
+	g.Seed = 101
+	gdb := MustGenerate(g)
+	gres, err := NewRunner(gdb, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPhaseGold(t, "generic/cold", gres.Cold, phaseGold{
+		tx: 150, reads: 25809, writes: 97, objMean: "258.8733333",
+		perType: map[TxType]typeGold{
+			SetAccess:           {16, "590.4375", "465.0625"},
+			SimpleTraversal:     {26, "772.8461538", "582.4230769"},
+			HierarchyTraversal:  {29, "68.62068966", "47.44827586"},
+			StochasticTraversal: {17, "51", "39.47058824"},
+			UpdateOp:            {26, "1", "1.769230769"},
+			InsertOp:            {14, "10.35714286", "0.2142857143"},
+			DeleteOp:            {6, "11.66666667", "20"},
+			ScanOp:              {4, "1503", "269.75"},
+			RangeOp:             {12, "15", "2.25"},
+		},
+	})
+	checkPhaseGold(t, "generic/warm", gres.Warm, phaseGold{
+		tx: 400, reads: 70948, writes: 238, objMean: "256.0875",
+		perType: map[TxType]typeGold{
+			SetAccess:           {53, "554.2264151", "436.2641509"},
+			SimpleTraversal:     {71, "774.8169014", "577.1971831"},
+			HierarchyTraversal:  {59, "56.25423729", "40.3559322"},
+			StochasticTraversal: {62, "51", "36.77419355"},
+			UpdateOp:            {72, "1", "1.708333333"},
+			InsertOp:            {29, "9.793103448", "0.275862069"},
+			DeleteOp:            {16, "10.125", "17.1875"},
+			ScanOp:              {7, "1512.571429", "275.7142857"},
+			RangeOp:             {31, "14.90322581", "2.774193548"},
+		},
+	})
+	if err := CheckDatabase(gdb); err != nil {
+		t.Fatalf("post-churn invariants: %v", err)
+	}
+}
+
+// TestLiveSnapshotMaintenance exercises the cached ascending live-OID
+// snapshot across insertions and deletions.
+func TestLiveSnapshotMaintenance(t *testing.T) {
+	p := chainParams(2, 200)
+	db := MustGenerate(p)
+	src := lewis.New(9)
+
+	snap := db.LiveOIDs()
+	if len(snap) != 200 {
+		t.Fatalf("initial snapshot has %d entries", len(snap))
+	}
+	if &snap[0] != &db.LiveOIDs()[0] {
+		t.Fatal("repeated LiveOIDs calls rebuild instead of sharing the snapshot")
+	}
+
+	// Insertion extends the snapshot in place (ascending OIDs).
+	obj, err := db.InsertObject(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = db.LiveOIDs()
+	if snap[len(snap)-1] != obj.OID {
+		t.Fatalf("snapshot tail = %d, want inserted %d", snap[len(snap)-1], obj.OID)
+	}
+
+	// Deletion invalidates; the next call rebuilds without the victim.
+	if err := db.DeleteObject(5); err != nil {
+		t.Fatal(err)
+	}
+	snap = db.LiveOIDs()
+	if len(snap) != 200 {
+		t.Fatalf("post-delete snapshot has %d entries, want 200", len(snap))
+	}
+	for i, oid := range snap {
+		if oid == 5 {
+			t.Fatal("deleted OID still in snapshot")
+		}
+		if i > 0 && snap[i-1] >= oid {
+			t.Fatalf("snapshot out of order at %d", i)
+		}
+	}
+
+	// ResolveLive rides the snapshot: dead OID resolves upward, the top
+	// wraps to the first live OID.
+	if got, ok := db.ResolveLive(5); !ok || got != 6 {
+		t.Fatalf("ResolveLive(5) = %d, %v; want 6", got, ok)
+	}
+	if got, ok := db.ResolveLive(obj.OID + 1); !ok || got != snap[0] {
+		t.Fatalf("ResolveLive(past top) = %d, %v; want wrap to %d", got, ok, snap[0])
+	}
+	if err := CheckDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"ocb/internal/lewis"
 	"ocb/internal/store"
@@ -29,47 +30,62 @@ func (db *Database) initLive() {
 			db.live = append(db.live, db.Objects[i].OID)
 		}
 	}
+	db.snapMu.Lock()
+	db.liveSnap = append([]store.OID(nil), db.live...)
+	db.liveSnapOK.Store(true)
+	db.snapMu.Unlock()
 }
 
 // NumLive returns the number of live objects (inserts minus deletes).
 func (db *Database) NumLive() int { return len(db.live) }
 
-// LiveOIDs returns the live objects in ascending OID order.
+// LiveOIDs returns the live objects in ascending OID order. The returned
+// slice is a shared snapshot maintained incrementally across insertions and
+// rebuilt lazily after deletions: callers must treat it as read-only, and
+// it is only guaranteed current until the next structural mutation. Scan
+// transactions and ResolveLive ride this snapshot so they no longer rebuild
+// an O(n) slice per call; callers that want to reorder the result should
+// use AllOIDs instead.
 func (db *Database) LiveOIDs() []store.OID {
-	out := make([]store.OID, 0, len(db.live))
-	for i := 1; i < len(db.Objects); i++ {
-		if db.Objects[i] != nil {
-			out = append(out, db.Objects[i].OID)
-		}
+	if db.liveSnapOK.Load() {
+		return db.liveSnap
 	}
-	return out
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	if !db.liveSnapOK.Load() {
+		// Rebuild into a fresh slice: snapshots handed out earlier stay
+		// intact for their holders.
+		snap := make([]store.OID, 0, len(db.live))
+		for i := 1; i < len(db.Objects); i++ {
+			if db.Objects[i] != nil {
+				snap = append(snap, db.Objects[i].OID)
+			}
+		}
+		db.liveSnap = snap
+		db.liveSnapOK.Store(true)
+	}
+	return db.liveSnap
 }
 
 // ResolveLive maps an arbitrary OID onto a live object: itself when live,
 // otherwise the next live OID upward (wrapping). It lets transaction roots
-// drawn from the static [1, NO] interval stay valid under deletion.
+// drawn from the static [1, NO] interval stay valid under deletion. The
+// lookup binary-searches the ascending live snapshot.
 func (db *Database) ResolveLive(oid store.OID) (store.OID, bool) {
-	if len(db.live) == 0 {
+	live := db.LiveOIDs()
+	if len(live) == 0 {
 		return store.NilOID, false
 	}
-	n := len(db.Objects)
-	idx := int(oid)
-	if idx < 1 || idx >= n {
-		idx = 1
+	i := sort.Search(len(live), func(i int) bool { return live[i] >= oid })
+	if i == len(live) {
+		i = 0 // wrap past the highest live OID
 	}
-	for scanned := 0; scanned < n; scanned++ {
-		if db.Objects[idx] != nil {
-			return db.Objects[idx].OID, true
-		}
-		idx++
-		if idx >= n {
-			idx = 1
-		}
-	}
-	return store.NilOID, false
+	return live[i], true
 }
 
-// trackInsert registers a new live object.
+// trackInsert registers a new live object. Callers hold the database's
+// exclusive lock. OIDs are issued in increasing order, so the ascending
+// snapshot extends in place without losing sortedness.
 func (db *Database) trackInsert(oid store.OID) {
 	if db.liveIdx == nil {
 		db.initLive()
@@ -77,9 +93,15 @@ func (db *Database) trackInsert(oid store.OID) {
 	}
 	db.liveIdx[oid] = len(db.live)
 	db.live = append(db.live, oid)
+	db.snapMu.Lock()
+	if db.liveSnapOK.Load() {
+		db.liveSnap = append(db.liveSnap, oid)
+	}
+	db.snapMu.Unlock()
 }
 
-// trackDelete unregisters a live object (swap-remove).
+// trackDelete unregisters a live object (swap-remove) and invalidates the
+// ascending snapshot; the next LiveOIDs call rebuilds it.
 func (db *Database) trackDelete(oid store.OID) {
 	i, ok := db.liveIdx[oid]
 	if !ok {
@@ -90,6 +112,7 @@ func (db *Database) trackDelete(oid store.OID) {
 	db.liveIdx[db.live[i]] = i
 	db.live = db.live[:last]
 	delete(db.liveIdx, oid)
+	db.liveSnapOK.Store(false)
 }
 
 // InsertObject creates one new object following the generation rules: its

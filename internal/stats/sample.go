@@ -1,6 +1,9 @@
 package stats
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // DefaultSampleCap bounds a Sample's memory; beyond it, reservoir
 // sampling keeps a uniform subset (deterministically).
@@ -15,6 +18,12 @@ type Sample struct {
 	seen   int64
 	values []float64
 	rng    uint64
+
+	// sorted caches a sorted copy of values so per-report-line quantile
+	// triples (Median, P95, P99) sort once instead of once per call; it is
+	// invalidated whenever Add or Merge changes the retained set.
+	sorted   []float64
+	sortedOK bool
 }
 
 // NewSample returns a Sample bounded to capN observations
@@ -39,31 +48,65 @@ func (s *Sample) nextRand() uint64 {
 	return s.rng
 }
 
+// randIntn returns a uniform draw in [0, n) without modulo bias, using
+// Lemire's multiply-shift with rejection of the biased low range.
+func (s *Sample) randIntn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(s.nextRand(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.nextRand(), n)
+		}
+	}
+	return hi
+}
+
+// randFloat returns a uniform draw in [0, 1).
+func (s *Sample) randFloat() float64 {
+	return float64(s.nextRand()>>11) / (1 << 53)
+}
+
 // Add folds one observation in.
 func (s *Sample) Add(x float64) {
 	s.seen++
 	if len(s.values) < s.capacity() {
 		s.values = append(s.values, x)
+		s.sortedOK = false
 		return
 	}
 	// Reservoir: replace a random slot with probability cap/seen.
-	idx := s.nextRand() % uint64(s.seen)
+	idx := s.randIntn(uint64(s.seen))
 	if idx < uint64(len(s.values)) {
 		s.values[idx] = x
+		s.sortedOK = false
 	}
 }
 
 // N returns how many observations were seen (not retained).
 func (s *Sample) N() int64 { return s.seen }
 
+// ensureSorted refreshes the sorted cache if needed and returns it.
+func (s *Sample) ensureSorted() []float64 {
+	if !s.sortedOK {
+		s.sorted = append(s.sorted[:0], s.values...)
+		sort.Float64s(s.sorted)
+		s.sortedOK = true
+	}
+	return s.sorted
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of the retained values,
-// with linear interpolation; 0 when empty.
+// with linear interpolation; 0 when empty. The sort of the retained set is
+// cached between mutations, so quantile triples per report line cost one
+// sort, not three.
 func (s *Sample) Quantile(q float64) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.values...)
-	sort.Float64s(sorted)
+	sorted := s.ensureSorted()
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -88,12 +131,71 @@ func (s *Sample) P95() float64 { return s.Quantile(0.95) }
 // P99 is Quantile(0.99).
 func (s *Sample) P99() float64 { return s.Quantile(0.99) }
 
-// Merge folds another sample in (retained values concatenate, then the
-// reservoir bound re-applies deterministically).
+// Merge folds another sample in. While both sides are exact (every
+// observation retained) and the union fits the cap, the merge stays exact
+// and order-independent. Once either side has degraded to a reservoir, the
+// retained sets are subsampled against each other with each side's picks
+// weighted by the observation mass its reservoir represents, so the merged
+// reservoir stays unbiased regardless of the order clients are folded in.
+// o is not modified.
 func (s *Sample) Merge(o *Sample) {
-	for _, v := range o.values {
-		s.Add(v)
+	if o == nil || o.seen == 0 {
+		return
 	}
-	// Account for observations the other side saw but did not retain.
-	s.seen += o.seen - int64(len(o.values))
+	capN := s.capacity()
+	sExact := s.seen == int64(len(s.values))
+	oExact := o.seen == int64(len(o.values))
+	if sExact && oExact && len(s.values)+len(o.values) <= capN {
+		s.values = append(s.values, o.values...)
+		s.seen += o.seen
+		s.sortedOK = false
+		return
+	}
+
+	// Weighted reservoir merge: each retained value stands for
+	// seen/retained original observations. Draw without replacement,
+	// choosing a side in proportion to its remaining unconsumed
+	// observation mass — the standard mergeable-summary construction.
+	a := append([]float64(nil), s.values...)
+	b := append([]float64(nil), o.values...)
+	var wA, wB float64
+	if len(a) > 0 {
+		wA = float64(s.seen) / float64(len(a))
+	}
+	if len(b) > 0 {
+		wB = float64(o.seen) / float64(len(b))
+	}
+	remA, remB := float64(s.seen), float64(o.seen)
+	out := s.values[:0]
+	for len(out) < capN && (len(a) > 0 || len(b) > 0) {
+		var takeA bool
+		switch {
+		case len(b) == 0:
+			takeA = true
+		case len(a) == 0:
+			takeA = false
+		default:
+			takeA = s.randFloat()*(remA+remB) < remA
+		}
+		if takeA {
+			i := int(s.randIntn(uint64(len(a))))
+			out = append(out, a[i])
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+			if remA -= wA; remA < 0 {
+				remA = 0
+			}
+		} else {
+			i := int(s.randIntn(uint64(len(b))))
+			out = append(out, b[i])
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if remB -= wB; remB < 0 {
+				remB = 0
+			}
+		}
+	}
+	s.values = out
+	s.seen += o.seen
+	s.sortedOK = false
 }

@@ -125,3 +125,183 @@ func TestQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSampleMergeExactOrderIndependent checks that while everything fits
+// the cap, a merge is an exact multiset union regardless of merge order.
+func TestSampleMergeExactOrderIndependent(t *testing.T) {
+	build := func() (*Sample, *Sample) {
+		a, b := NewSample(500), NewSample(500)
+		for i := 0; i < 120; i++ {
+			a.Add(float64(i))
+		}
+		for i := 0; i < 90; i++ {
+			b.Add(float64(1000 + i))
+		}
+		return a, b
+	}
+	a1, b1 := build()
+	a1.Merge(b1)
+	a2, b2 := build()
+	b2.Merge(a2)
+	if a1.N() != 210 || b2.N() != 210 {
+		t.Fatalf("N = %d / %d, want 210", a1.N(), b2.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if a1.Quantile(q) != b2.Quantile(q) {
+			t.Fatalf("q=%v: %v vs %v", q, a1.Quantile(q), b2.Quantile(q))
+		}
+	}
+}
+
+// TestSampleMergeReservoirUnbiased merges two degraded reservoirs in both
+// orders: the retained composition must reflect each side's observation
+// count — not the merge order, which is the bias the old implementation
+// had (incoming values were folded at probabilities computed before the
+// other side's unretained mass was accounted for).
+func TestSampleMergeReservoirUnbiased(t *testing.T) {
+	build := func() (*Sample, *Sample) {
+		a, b := NewSample(1000), NewSample(1000)
+		for i := 0; i < 20000; i++ {
+			a.Add(1)
+		}
+		for i := 0; i < 10000; i++ {
+			b.Add(2)
+		}
+		return a, b
+	}
+	frac1 := func(s *Sample) float64 {
+		ones := 0
+		for _, v := range s.values {
+			if v == 1 {
+				ones++
+			}
+		}
+		return float64(ones) / float64(len(s.values))
+	}
+	a1, b1 := build()
+	a1.Merge(b1)
+	a2, b2 := build()
+	b2.Merge(a2)
+	if a1.N() != 30000 || b2.N() != 30000 {
+		t.Fatalf("N = %d / %d, want 30000", a1.N(), b2.N())
+	}
+	// Expected fraction of 1s is 20000/30000 = 2/3 under either order.
+	for name, f := range map[string]float64{"a.Merge(b)": frac1(a1), "b.Merge(a)": frac1(b2)} {
+		if f < 0.58 || f > 0.75 {
+			t.Fatalf("%s retained fraction of heavy side = %.3f, want ~0.667", name, f)
+		}
+	}
+}
+
+// TestSampleMergeAsymmetricWeight merges a tiny exact sample into a heavy
+// reservoir: the small side must not displace more than its share.
+func TestSampleMergeAsymmetricWeight(t *testing.T) {
+	a := NewSample(1000)
+	for i := 0; i < 100000; i++ {
+		a.Add(1)
+	}
+	b := NewSample(1000)
+	for i := 0; i < 500; i++ {
+		b.Add(2)
+	}
+	a.Merge(b)
+	twos := 0
+	for _, v := range a.values {
+		if v == 2 {
+			twos++
+		}
+	}
+	// Expected share: 500/100500 of 1000 retained slots ≈ 5.
+	if twos > 50 {
+		t.Fatalf("light side retained %d of 1000 slots, want ~5", twos)
+	}
+	if a.N() != 100500 {
+		t.Fatalf("N = %d", a.N())
+	}
+}
+
+// TestSampleMergeDeterministic repeats an over-cap merge from identical
+// state: the result must be bit-identical.
+func TestSampleMergeDeterministic(t *testing.T) {
+	run := func() []float64 {
+		a, b := NewSample(200), NewSample(200)
+		for i := 0; i < 5000; i++ {
+			a.Add(float64(i % 97))
+			b.Add(float64(i % 101))
+		}
+		a.Merge(b)
+		return append([]float64(nil), a.values...)
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("values diverge at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// TestSampleMergeDoesNotMutateOther checks the merged-from sample is left
+// intact.
+func TestSampleMergeDoesNotMutateOther(t *testing.T) {
+	a, b := NewSample(10), NewSample(10)
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i))
+		b.Add(float64(100 + i))
+	}
+	want := append([]float64(nil), b.values...)
+	wantSeen := b.N()
+	a.Merge(b)
+	if b.N() != wantSeen {
+		t.Fatalf("b.N changed: %d -> %d", wantSeen, b.N())
+	}
+	for i := range want {
+		if b.values[i] != want[i] {
+			t.Fatalf("b.values[%d] changed", i)
+		}
+	}
+}
+
+// TestQuantileCacheInvalidation checks the cached sort refreshes after
+// Add and Merge.
+func TestQuantileCacheInvalidation(t *testing.T) {
+	s := NewSample(100)
+	s.Add(1)
+	s.Add(2)
+	if m := s.Median(); m != 1.5 {
+		t.Fatalf("median = %v", m)
+	}
+	s.Add(100)
+	if m := s.Median(); m != 2 {
+		t.Fatalf("median after Add = %v, want 2", m)
+	}
+	o := NewSample(100)
+	o.Add(200)
+	o.Add(300)
+	s.Merge(o)
+	// {1, 2, 100, 200, 300}: median 100.
+	if m := s.Median(); m != 100 {
+		t.Fatalf("median after Merge = %v, want 100", m)
+	}
+}
+
+// TestRandIntnUnbiased spot-checks the bounded generator's uniformity on a
+// range that a plain modulo would visibly skew (n just above 2^63).
+func TestRandIntnUnbiased(t *testing.T) {
+	s := NewSample(1)
+	n := uint64(1)<<63 + 1
+	below := 0
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		if s.randIntn(n) < n/2 {
+			below++
+		}
+	}
+	// A modulo-based draw would land below n/2 about 75% of the time;
+	// unbiased is 50%. Allow generous slack for the fixed seed.
+	if below < draws*40/100 || below > draws*60/100 {
+		t.Fatalf("below-midpoint rate %d/%d, want ~50%%", below, draws)
+	}
+}

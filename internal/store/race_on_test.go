@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately drops a fraction of Puts under -race, so allocation-count
+// assertions are skipped.
+const raceEnabled = true
