@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"ocb/internal/backend"
+	_ "ocb/internal/backend/all"
 	"ocb/internal/cluster"
 	"ocb/internal/core"
 	"ocb/internal/dstc"
@@ -152,7 +154,7 @@ func BenchmarkTransaction(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tx := core.Transaction{
 					Type:    typ,
-					Root:    store.OID(src.IntRange(1, p.NO)),
+					Root:    backend.OID(src.IntRange(1, p.NO)),
 					Depth:   depth,
 					RefType: 1 + i%p.NRefT,
 				}

@@ -4,22 +4,35 @@
 //
 // Usage:
 //
-//	ocb-experiments [-quick] [-csv] [-seed N] [-run list]
+//	ocb-experiments [-quick] [-csv] [-seed N] [-backend name]
+//	                [-backend-opt k=v]... [-run list] [experiment ...]
 //
-// -run selects a comma-separated subset of:
+// -backend aims every experiment at a registered driver (default "paged");
+// experiments needing a capability the driver lacks (physical relocation,
+// mostly) print a skip line instead of failing.
 //
-//	table1 table2 table3 fig4 table4 table5 genericity types
+// -run (or positional experiment names, e.g. `ocb-experiments compare`)
+// selects a comma-separated subset of:
+//
+//	table1 table2 table3 fig4 table4 table5 genericity compare types
 //	policies buffer clients scale reverse dstc-sens oo1 hypermodel
 //	oo7 all
+//
+// `compare` is the cross-backend genericity table: the same workload seed
+// aimed at every registered backend driver, one row per backend.
 package main
 
 import (
+	_ "ocb/internal/backend/all"
+
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/exp"
 	"ocb/internal/report"
 )
@@ -36,6 +49,7 @@ var experiments = []struct {
 	{"table4", "DSTC via DSTC-CluB vs OCB (paper Table 4)", exp.Table4},
 	{"table5", "DSTC under the default mixed workload (paper Table 5)", exp.Table5},
 	{"genericity", "OO1 traversal shape from OCB parameters", exp.GenericityCheck},
+	{"compare", "cross-backend comparison: same workload seed, one row per registered backend", exp.Genericity},
 	{"types", "per-transaction-type metrics", exp.TypeBreakdown},
 	{"policies", "A1: clustering policy shoot-out", exp.Policies},
 	{"buffer", "A2: buffer size sweep", exp.BufferSweep},
@@ -57,7 +71,30 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed offset applied to every experiment")
 	run := flag.String("run", "all", "comma-separated experiment list (see -list)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	backendName := flag.String("backend", backend.DefaultName,
+		fmt.Sprintf("system-under-test backend: %s", strings.Join(backend.List(), " | ")))
+	var backendOpts backend.OptionFlags
+	flag.Var(&backendOpts, "backend-opt",
+		"backend-specific option key=value (repeatable), validated by the driver")
 	flag.Parse()
+
+	// Subcommand form: `ocb-experiments compare` (or any experiment name)
+	// is shorthand for -run with that selection. Mixing it with an explicit
+	// -run would silently drop one of the two selections, so reject it.
+	if args := flag.Args(); len(args) > 0 {
+		runSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "run" {
+				runSet = true
+			}
+		})
+		if runSet {
+			fmt.Fprintf(os.Stderr, "ocb-experiments: both -run %q and positional selection %q given; use one\n",
+				*run, strings.Join(args, ","))
+			os.Exit(2)
+		}
+		*run = strings.Join(args, ",")
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -66,11 +103,28 @@ func main() {
 		return
 	}
 
+	known := map[string]bool{"all": true}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
-		selected[strings.TrimSpace(name)] = true
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			// Catches both typos and flags placed after a positional
+			// experiment name (flag.Parse stops at the first positional
+			// arg, so `compare -backend x` would silently drop -backend).
+			fmt.Fprintf(os.Stderr, "ocb-experiments: unknown experiment %q (flags must precede experiment names; try -list)\n", name)
+			os.Exit(2)
+		}
+		selected[name] = true
 	}
-	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	opts, err := backend.ParseOptions(backendOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocb-experiments: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Backend: *backendName, BackendOptions: opts}
 
 	ran := 0
 	for _, e := range experiments {
@@ -80,6 +134,12 @@ func main() {
 		ran++
 		start := time.Now()
 		tb, err := e.run(cfg)
+		if errors.Is(err, backend.ErrNotSupported) {
+			// The selected backend lacks a capability this experiment
+			// needs (physical relocation, mostly): report, move on.
+			fmt.Printf("  [%s skipped on backend %q: %v]\n\n", e.name, *backendName, err)
+			continue
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ocb-experiments: %s: %v\n", e.name, err)
 			os.Exit(1)

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"ocb/internal/buffer"
+	"ocb/internal/backend"
+	_ "ocb/internal/backend/all"
 	"ocb/internal/cluster"
 	"ocb/internal/core"
 	"ocb/internal/dstc"
@@ -63,10 +66,15 @@ func run() error {
 	pstoch := flag.Float64("pstoch", -1, "PSTOCH")
 	preverse := flag.Float64("preverse", -1, "probability of reversed transactions")
 	clients := flag.Int("clients", 0, "CLIENTN: concurrent clients")
-	// Testbed geometry.
-	pagesize := flag.Int("pagesize", 0, "disk page size (bytes)")
-	bufpages := flag.Int("buffer", 0, "buffer pool size (pages)")
-	policyName := flag.String("replacement", "", "page replacement policy: lru | fifo | clock")
+	// System under test. Backend-specific geometry (page size, buffer,
+	// replacement policy ...) travels as -backend-opt key=value pairs so a
+	// backend only sees options it understands; the driver validates the
+	// keys and rejects unknown ones naming the valid set.
+	backendName := flag.String("backend", backend.DefaultName,
+		fmt.Sprintf("system-under-test backend: %s", strings.Join(backend.List(), " | ")))
+	var backendOpts backend.OptionFlags
+	flag.Var(&backendOpts, "backend-opt",
+		"backend-specific option key=value (repeatable); e.g. -backend-opt pagesize=4096 -backend-opt buffer=512 for paged")
 	seed := flag.Int64("seed", 0, "random seed (0 keeps the preset)")
 	// Clustering.
 	clust := flag.String("cluster", "none", "clustering policy: none | sequential | byclass | hot | greedy | dstc")
@@ -144,15 +152,12 @@ func run() error {
 	setProb(&p.PStoch, *pstoch)
 	setProb(&p.PReverse, *preverse)
 	setInt(&p.ClientN, *clients)
-	setInt(&p.PageSize, *pagesize)
-	setInt(&p.BufferPages, *bufpages)
-	if *policyName != "" {
-		pol, err := buffer.ParsePolicy(*policyName)
-		if err != nil {
-			return err
-		}
-		p.BufferPolicy = pol
+	p.Backend = *backendName
+	opts, err := backend.ParseOptions(backendOpts)
+	if err != nil {
+		return err
 	}
+	p.BackendOptions = opts
 	if *seed != 0 {
 		p.Seed = *seed
 	}
@@ -166,8 +171,13 @@ func run() error {
 		return err
 	}
 	st := db.Store.Stats()
-	fmt.Printf("generated in %s: %d objects on %d pages (%d-byte pages, %d-page buffer)\n\n",
-		report.Dur(db.GenTime), st.Objects, st.Pages, p.PageSize, p.BufferPages)
+	if st.Pages > 0 {
+		fmt.Printf("generated in %s on backend %q: %d objects on %d pages\n\n",
+			report.Dur(db.GenTime), *backendName, st.Objects, st.Pages)
+	} else {
+		fmt.Printf("generated in %s on backend %q: %d objects (no page abstraction)\n\n",
+			report.Dur(db.GenTime), *backendName, st.Objects)
+	}
 
 	var policy cluster.Policy
 	switch *clust {
@@ -197,11 +207,15 @@ func run() error {
 	if policy != nil && *reorg {
 		start := time.Now()
 		rs, err := r.Reorganize()
-		if err != nil {
+		switch {
+		case errors.Is(err, backend.ErrNotSupported):
+			fmt.Printf("reorganization skipped: backend %q has no physical relocation\n\n", *backendName)
+		case err != nil:
 			return err
+		default:
+			fmt.Printf("reorganized with %s in %s: moved %d objects, %d pages read, %d written\n\n",
+				policy.Name(), report.Dur(time.Since(start)), rs.ObjectsMoved, rs.PagesRead, rs.PagesWritten)
 		}
-		fmt.Printf("reorganized with %s in %s: moved %d objects, %d pages read, %d written\n\n",
-			policy.Name(), report.Dur(time.Since(start)), rs.ObjectsMoved, rs.PagesRead, rs.PagesWritten)
 	}
 
 	warm, err := r.RunPhase("warm", p.HotN, p.Seed+2)

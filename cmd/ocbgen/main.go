@@ -6,6 +6,8 @@
 package main
 
 import (
+	_ "ocb/internal/backend/all"
+
 	"flag"
 	"fmt"
 	"os"

@@ -10,6 +10,8 @@
 package main
 
 import (
+	_ "ocb/internal/backend/all"
+
 	"fmt"
 	"log"
 

@@ -9,6 +9,8 @@
 package main
 
 import (
+	_ "ocb/internal/backend/all"
+
 	"fmt"
 	"log"
 	"time"

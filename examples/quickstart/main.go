@@ -4,6 +4,8 @@
 package main
 
 import (
+	_ "ocb/internal/backend/all"
+
 	"fmt"
 	"log"
 
@@ -25,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("generated %d objects in %d classes in %s (%d pages)\n",
-		db.NO(), p.NC, db.GenTime.Round(1e6), db.Store.NumPages())
+		db.NO(), p.NC, db.GenTime.Round(1e6), db.Store.Stats().Pages)
 
 	runner := core.NewRunner(db, nil)
 	res, err := runner.Run()

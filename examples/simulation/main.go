@@ -8,6 +8,8 @@
 package main
 
 import (
+	_ "ocb/internal/backend/all"
+
 	"fmt"
 	"log"
 	"time"

@@ -1,0 +1,13 @@
+// Package all links every in-tree backend driver into the importing
+// binary, in the manner of database/sql driver bundles:
+//
+//	import _ "ocb/internal/backend/all"
+//
+// Commands, examples and tests that open backends by name import it once;
+// adding a driver means adding one blank import here.
+package all
+
+import (
+	_ "ocb/internal/backend/flatmem"
+	_ "ocb/internal/backend/paged"
+)

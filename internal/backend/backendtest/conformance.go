@@ -1,0 +1,342 @@
+// Package backendtest is the shared conformance suite every backend driver
+// must pass: it checks the parts of the backend contract the workload
+// layers rely on but the compiler cannot — OID sequencing, lifecycle
+// semantics, AccessBatch/Access equivalence, counter exactness and the
+// protocol's error cases. CI runs it against every registered driver.
+package backendtest
+
+import (
+	"errors"
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// Opener constructs a fresh, empty backend for one subtest.
+type Opener func(t *testing.T) backend.Backend
+
+// Conformance runs the full suite against fresh instances from open.
+func Conformance(t *testing.T, open Opener) {
+	t.Run("Lifecycle", func(t *testing.T) { testLifecycle(t, open(t)) })
+	t.Run("SequentialOIDs", func(t *testing.T) { testSequentialOIDs(t, open(t)) })
+	t.Run("Errors", func(t *testing.T) { testErrors(t, open(t)) })
+	t.Run("BatchEquivalence", func(t *testing.T) { testBatchEquivalence(t, open) })
+	t.Run("BatchPrefixOnDeadOID", func(t *testing.T) { testBatchPrefix(t, open(t)) })
+	t.Run("StatsExactness", func(t *testing.T) { testStatsExactness(t, open(t)) })
+	t.Run("ResetStats", func(t *testing.T) { testResetStats(t, open(t)) })
+	t.Run("CommitAndDropCache", func(t *testing.T) { testCommitDrop(t, open(t)) })
+}
+
+// populate creates n objects of the given payload size and returns their
+// OIDs, failing the test on any error.
+func populate(t *testing.T, b backend.Backend, n, size int) []backend.OID {
+	t.Helper()
+	oids := make([]backend.OID, 0, n)
+	for i := 0; i < n; i++ {
+		oid, err := b.Create(size)
+		if err != nil {
+			t.Fatalf("Create #%d: %v", i, err)
+		}
+		oids = append(oids, oid)
+	}
+	return oids
+}
+
+// testLifecycle covers create → access → update → delete → dead.
+func testLifecycle(t *testing.T, b backend.Backend) {
+	oid, err := b.Create(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid == backend.NilOID {
+		t.Fatal("Create issued NilOID")
+	}
+	if !b.Exists(oid) {
+		t.Fatal("created object does not exist")
+	}
+	sz, ok := b.SizeOf(oid)
+	if !ok || sz != 100+backend.ObjectHeaderSize {
+		t.Fatalf("SizeOf = %d, %v; want %d", sz, ok, 100+backend.ObjectHeaderSize)
+	}
+	if err := b.Access(oid); err != nil {
+		t.Fatalf("Access: %v", err)
+	}
+	if err := b.Update(oid); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := b.Delete(oid); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if b.Exists(oid) {
+		t.Fatal("deleted object still exists")
+	}
+	if _, ok := b.SizeOf(oid); ok {
+		t.Fatal("SizeOf reports a deleted object")
+	}
+	// Zero-size objects are legal (the header still occupies space).
+	zoid, err := b.Create(0)
+	if err != nil {
+		t.Fatalf("Create(0): %v", err)
+	}
+	if sz, ok := b.SizeOf(zoid); !ok || sz != backend.ObjectHeaderSize {
+		t.Fatalf("SizeOf(zero payload) = %d, %v; want %d", sz, ok, backend.ObjectHeaderSize)
+	}
+}
+
+// testSequentialOIDs pins the OID issuing rule the generation algorithms
+// depend on: object #i receives OID i, and deletions never free OIDs for
+// reuse.
+func testSequentialOIDs(t *testing.T, b backend.Backend) {
+	oids := populate(t, b, 10, 50)
+	for i, oid := range oids {
+		if oid != backend.OID(i+1) {
+			t.Fatalf("object #%d got OID %d, want %d", i+1, oid, i+1)
+		}
+	}
+	if err := b.Delete(oids[4]); err != nil {
+		t.Fatal(err)
+	}
+	next, err := b.Create(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != backend.OID(len(oids)+1) {
+		t.Fatalf("post-delete Create issued OID %d, want %d (OIDs must never recycle)", next, len(oids)+1)
+	}
+	if b.Exists(oids[4]) {
+		t.Fatal("deleted OID resurrected")
+	}
+}
+
+// testErrors covers the protocol's error cases: ErrNoSuchObject on dead or
+// never-issued OIDs (wrapped so errors.Is crosses the driver boundary) and
+// ErrBadSize on negative sizes.
+func testErrors(t *testing.T, b backend.Backend) {
+	if _, err := b.Create(-1); !errors.Is(err, backend.ErrBadSize) {
+		t.Fatalf("Create(-1): err = %v, want ErrBadSize", err)
+	}
+	for name, op := range map[string]func(backend.OID) error{
+		"Access": b.Access,
+		"Update": b.Update,
+		"Delete": b.Delete,
+	} {
+		if err := op(404); !errors.Is(err, backend.ErrNoSuchObject) {
+			t.Fatalf("%s(404): err = %v, want ErrNoSuchObject", name, err)
+		}
+		if err := op(backend.NilOID); !errors.Is(err, backend.ErrNoSuchObject) {
+			t.Fatalf("%s(NilOID): err = %v, want ErrNoSuchObject", name, err)
+		}
+	}
+	oid, err := b.Create(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Access(oid); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("Access(dead): err = %v, want ErrNoSuchObject", err)
+	}
+	if err := b.Delete(oid); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("double Delete: err = %v, want ErrNoSuchObject", err)
+	}
+}
+
+// testBatchEquivalence checks AccessBatch against the equivalent sequence
+// of Access calls on an identically populated twin backend: same success
+// count and same counter movement (objects accessed and transaction I/Os).
+func testBatchEquivalence(t *testing.T, open Opener) {
+	seq, bat := open(t), open(t)
+	const n = 300
+	seqOIDs := populate(t, seq, n, 120)
+	batOIDs := populate(t, bat, n, 120)
+	if err := seq.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seq.DropCache()
+	bat.DropCache()
+	seq.ResetStats()
+	bat.ResetStats()
+
+	// A batch with locality runs, jumps and repeats — the shapes the
+	// traversal levels and scans produce.
+	pick := make([]int, 0, 64)
+	for i := 0; i < 40; i++ {
+		pick = append(pick, (i*7)%n)
+	}
+	for i := 0; i < 24; i++ {
+		pick = append(pick, i)
+	}
+	for _, repeat := range []int{3, 3, 17, 17, 17} {
+		pick = append(pick, repeat)
+	}
+
+	batch := make([]backend.OID, len(pick))
+	for i, idx := range pick {
+		batch[i] = batOIDs[idx]
+		if err := seq.Access(seqOIDs[idx]); err != nil {
+			t.Fatalf("sequential Access: %v", err)
+		}
+	}
+	k, err := bat.AccessBatch(batch)
+	if err != nil {
+		t.Fatalf("AccessBatch: %v", err)
+	}
+	if k != len(batch) {
+		t.Fatalf("AccessBatch accessed %d of %d", k, len(batch))
+	}
+	ss, bs := seq.Stats(), bat.Stats()
+	if ss.ObjectsAccessed != bs.ObjectsAccessed {
+		t.Fatalf("objects accessed: sequential %d, batch %d", ss.ObjectsAccessed, bs.ObjectsAccessed)
+	}
+	if st, bt := ss.Disk.TransactionIOs(), bs.Disk.TransactionIOs(); st != bt {
+		t.Fatalf("transaction I/Os: sequential %d, batch %d", st, bt)
+	}
+	// An empty batch is free.
+	before := bat.Stats().ObjectsAccessed
+	if k, err := bat.AccessBatch(nil); k != 0 || err != nil {
+		t.Fatalf("AccessBatch(nil) = %d, %v", k, err)
+	}
+	if after := bat.Stats().ObjectsAccessed; after != before {
+		t.Fatalf("empty batch moved counters (%d -> %d)", before, after)
+	}
+}
+
+// testBatchPrefix checks the truncation contract: a dead OID inside the
+// batch yields the completed prefix length, ErrNoSuchObject, and counter
+// movement covering exactly that prefix.
+func testBatchPrefix(t *testing.T, b backend.Backend) {
+	oids := populate(t, b, 10, 60)
+	if err := b.Delete(oids[6]); err != nil {
+		t.Fatal(err)
+	}
+	b.ResetStats()
+	k, err := b.AccessBatch(oids)
+	if !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("batch over dead OID: err = %v, want ErrNoSuchObject", err)
+	}
+	if k != 6 {
+		t.Fatalf("batch completed %d objects, want the 6 preceding the dead OID", k)
+	}
+	if got := b.Stats().ObjectsAccessed; got != 6 {
+		t.Fatalf("objects-accessed counter = %d, want 6", got)
+	}
+}
+
+// testStatsExactness checks counter bookkeeping: the objects-accessed
+// counter counts every successful Access/Update exactly once, and the
+// live-object count follows creates and deletes.
+func testStatsExactness(t *testing.T, b backend.Backend) {
+	oids := populate(t, b, 20, 80)
+	if got := b.Stats().Objects; got != 20 {
+		t.Fatalf("Stats.Objects = %d, want 20", got)
+	}
+	b.ResetStats()
+	accesses := 0
+	for i, oid := range oids {
+		reps := 1 + i%3
+		for r := 0; r < reps; r++ {
+			if err := b.Access(oid); err != nil {
+				t.Fatal(err)
+			}
+			accesses++
+		}
+	}
+	if err := b.Update(oids[0]); err != nil {
+		t.Fatal(err)
+	}
+	accesses++
+	// A failed access moves nothing.
+	if err := b.Access(9999); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("Access(9999): %v", err)
+	}
+	st := b.Stats()
+	if st.ObjectsAccessed != uint64(accesses) {
+		t.Fatalf("ObjectsAccessed = %d, want %d", st.ObjectsAccessed, accesses)
+	}
+	if err := b.Delete(oids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().Objects; got != 19 {
+		t.Fatalf("Stats.Objects after delete = %d, want 19", got)
+	}
+	// DiskStats must agree with Stats().Disk (the executors sample the
+	// former on the hot path, the reports read the latter).
+	if a, c := b.DiskStats().TransactionIOs(), b.Stats().Disk.TransactionIOs(); a != c {
+		t.Fatalf("DiskStats reports %d transaction I/Os, Stats().Disk %d", a, c)
+	}
+}
+
+// testResetStats checks that ResetStats zeroes counters without touching
+// placement or the live set.
+func testResetStats(t *testing.T, b backend.Backend) {
+	oids := populate(t, b, 8, 40)
+	for _, oid := range oids {
+		if err := b.Access(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.ResetStats()
+	st := b.Stats()
+	if st.ObjectsAccessed != 0 {
+		t.Fatalf("ObjectsAccessed after reset = %d", st.ObjectsAccessed)
+	}
+	if ios := st.Disk.TransactionIOs(); ios != 0 {
+		t.Fatalf("transaction I/Os after reset = %d", ios)
+	}
+	if st.Objects != 8 {
+		t.Fatalf("reset changed the live set: %d objects, want 8", st.Objects)
+	}
+	for _, oid := range oids {
+		if !b.Exists(oid) {
+			t.Fatalf("reset killed object %d", oid)
+		}
+	}
+}
+
+// testCommitDrop checks that a commit + cold restart preserves the object
+// set and that every object remains accessible afterwards.
+func testCommitDrop(t *testing.T, b backend.Backend) {
+	oids := populate(t, b, 50, 200)
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.DropCache()
+	for _, oid := range oids {
+		if !b.Exists(oid) {
+			t.Fatalf("object %d lost across commit + cold restart", oid)
+		}
+	}
+	if k, err := b.AccessBatch(oids); err != nil || k != len(oids) {
+		t.Fatalf("post-restart batch = %d, %v", k, err)
+	}
+}
+
+// BenchmarkAccess is a shared micro-benchmark drivers can wire up to size
+// their hot path; it is not part of Conformance.
+func BenchmarkAccess(b *testing.B, bk backend.Backend, n int) {
+	oids := make([]backend.OID, 0, n)
+	for i := 0; i < n; i++ {
+		oid, err := bk.Create(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := bk.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bk.Access(oids[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

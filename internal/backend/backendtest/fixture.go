@@ -1,0 +1,44 @@
+package backendtest
+
+import (
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// PlacedBackend is the protocol view placement assertions need: the core
+// contract plus page inspection and physical relocation.
+type PlacedBackend interface {
+	backend.Backend
+	backend.Placer
+	backend.Relocator
+}
+
+// BuildPaged opens the "paged" driver on the tiny geometry the placement
+// tests share (256-byte pages, 8 frames), creates n objects of the given
+// payload size, commits them, and returns the store with the created OIDs.
+// The test binary must link the driver (blank-import
+// ocb/internal/backend/all).
+func BuildPaged(t *testing.T, n, size int) (PlacedBackend, []backend.OID) {
+	t.Helper()
+	b, err := backend.Open("paged", backend.Config{PageSize: 256, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := b.(PlacedBackend)
+	if !ok {
+		t.Fatal("paged backend lost its placement capabilities")
+	}
+	oids := make([]backend.OID, n)
+	for i := range oids {
+		oid, err := s.Create(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return s, oids
+}

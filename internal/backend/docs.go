@@ -1,0 +1,85 @@
+// Package backend defines the system-under-test contract of the benchmark:
+// the object protocol every OCB workload drives (the Backend interface),
+// the optional capabilities a store may additionally offer (Placer,
+// Relocator, IOClassifier, Snapshotter/Restorer), and a database/sql-style
+// driver registry so new stores plug in without touching the workload
+// layers.
+//
+// The paper's headline claim is genericity — one parameterized benchmark
+// aimed at arbitrary object stores. This package is where that genericity
+// lives in the code: core, cluster and the impersonated benchmarks (oo1,
+// oo7, hypermodel, dstc) speak only these interfaces, and a backend is
+// selected by name at run time. The rest of this comment is the
+// driver-author guide.
+//
+// # Writing a backend driver
+//
+// A driver is one package that (a) implements the Backend interface on
+// some store, and (b) registers an opener under a name:
+//
+//	func init() {
+//		backend.Register("mystore", func(cfg backend.Config) (backend.Backend, error) {
+//			if err := backend.CheckOptions("mystore", cfg.Options, "myknob"); err != nil {
+//				return nil, err
+//			}
+//			return openMyStore(cfg)
+//		})
+//	}
+//
+// Link the driver into binaries by adding a blank import to
+// internal/backend/all, the driver bundle every command, example and test
+// imports. That is the whole integration surface: the workload layers
+// (core, cluster, oo1, oo7, hypermodel, dstc) never name concrete stores.
+//
+// # The core contract
+//
+// Backend is the protocol every workload uses: Create, Access,
+// AccessBatch, Update, Delete, Exists, SizeOf, Commit, DropCache,
+// Stats/DiskStats/ResetStats. Non-negotiable requirements:
+//
+//   - OIDs are issued sequentially from 1 in creation order. The
+//     generation algorithms assert object #i got OID i.
+//   - Dead OIDs return an error wrapping ErrNoSuchObject and never
+//     resurrect; negative sizes return ErrBadSize wrapped.
+//   - AccessBatch(oids) must charge exactly the I/Os and counters the
+//     equivalent sequence of Access calls would, and on error report the
+//     completed prefix length.
+//   - Every method is safe for concurrent use (the benchmark runs
+//     CLIENTN > 1), and the Access/AccessBatch/Update hot path must not
+//     allocate in steady state — the executors enforce zero allocations
+//     per transaction so harness overhead stays out of measured times.
+//
+// Run backendtest.Conformance against the opener; it checks all of the
+// above mechanically and is wired into CI for every registered driver.
+//
+// # Optional capabilities
+//
+// Everything else is a capability discovered by type assertion, so a
+// backend without a page abstraction still runs every workload:
+//
+//   - Placer (PageSize/PageOf/PagesOf/Layout): physical placement
+//     inspection, used to verify clustering layouts.
+//   - Relocator (Relocate): physical reorganization. Clustering policies
+//     require it; on backends without it they return ErrNotSupported and
+//     the experiments print a skip line instead of failing.
+//   - Resharder (Reshard/Shards): rebuilding and reporting the
+//     lock-sharding degree; the scalability sweep widens it to the client
+//     count where available.
+//   - IOClassifier (SetIOClass): routing I/O charges between the
+//     transaction and clustering-overhead accounting classes.
+//   - Snapshotter/Restorer (Image/Restore): persistence of a generated
+//     database across processes (core.Database.Save / core.Load).
+//
+// Implement the capabilities whose semantics the store genuinely has;
+// never stub one (a Relocate that moves nothing would silently corrupt
+// every clustering experiment run against the driver).
+//
+// # Options
+//
+// Config's typed fields (PageSize, BufferPages, Policy, Shards) are
+// common geometry hints — ignore the ones without meaning for the store.
+// Config.Options is the strict part: it carries the user's explicit
+// -backend-opt key=value flags, and the driver must reject unknown keys
+// via CheckOptions so a typo fails with the valid keys named rather than
+// silently benchmarking a default.
+package backend

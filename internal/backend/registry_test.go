@@ -1,0 +1,101 @@
+package backend
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fake is a minimal Backend for registry tests.
+type fake struct{ Backend }
+
+func TestRegistry(t *testing.T) {
+	Register("zz-test", func(cfg Config) (Backend, error) { return &fake{}, nil })
+
+	names := List()
+	found := false
+	for _, n := range names {
+		if n == "zz-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("List() = %v, missing zz-test", names)
+	}
+
+	b, err := Open("zz-test", Config{})
+	if err != nil || b == nil {
+		t.Fatalf("Open(zz-test) = %v, %v", b, err)
+	}
+
+	_, err = Open("no-such-driver", Config{})
+	if err == nil || !strings.Contains(err.Error(), "zz-test") {
+		t.Fatalf("unknown-driver error must list registered drivers, got: %v", err)
+	}
+
+	for _, bad := range []func(){
+		func() { Register("", func(Config) (Backend, error) { return nil, nil }) },
+		func() { Register("zz-test", func(Config) (Backend, error) { return nil, nil }) },
+		func() { Register("zz-nil", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad Register did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	opts, err := ParseOptions([]string{"a=1", "b=x=y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts["a"] != "1" || opts["b"] != "x=y" {
+		t.Fatalf("opts = %v", opts)
+	}
+	if m, err := ParseOptions(nil); m != nil || err != nil {
+		t.Fatalf("ParseOptions(nil) = %v, %v", m, err)
+	}
+	for _, bad := range [][]string{{"noequals"}, {"=v"}, {"a=1", "a=2"}} {
+		if _, err := ParseOptions(bad); err == nil {
+			t.Fatalf("ParseOptions(%v) accepted", bad)
+		}
+	}
+}
+
+func TestCheckOptions(t *testing.T) {
+	if err := CheckOptions("d", map[string]string{"k": "v"}, "k", "other"); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckOptions("d", map[string]string{"nope": "v"}, "k", "other")
+	var unknown *UnknownOptionError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "k, other") && !strings.Contains(msg, "k") {
+		t.Fatalf("error does not name valid keys: %q", msg)
+	}
+	err = CheckOptions("d", map[string]string{"x": "1"})
+	if err == nil || !strings.Contains(err.Error(), "no options") {
+		t.Fatalf("optionless driver error unhelpful: %v", err)
+	}
+}
+
+func TestCapabilityHelpers(t *testing.T) {
+	var b Backend = &fake{}
+	if _, err := AsRelocator(b); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("AsRelocator on bare backend: %v", err)
+	}
+	if _, err := AsPlacer(b); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("AsPlacer on bare backend: %v", err)
+	}
+	if got := PageSizeOf(b); got != 4096 {
+		t.Fatalf("PageSizeOf fallback = %d", got)
+	}
+	SetIOClass(b, 0) // must be a safe no-op
+}

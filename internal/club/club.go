@@ -32,10 +32,10 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
 	"ocb/internal/oo1"
-	"ocb/internal/store"
 )
 
 // Params configures a DSTC-CluB run.
@@ -81,7 +81,7 @@ type Result struct {
 	// Gain is IOsBefore / IOsAfter, the paper's gain factor.
 	Gain float64
 	// Reloc is the physical reorganization cost (clustering overhead).
-	Reloc store.RelocStats
+	Reloc backend.RelocStats
 	// ClusteringIOs is the total clustering-overhead I/O charged.
 	ClusteringIOs uint64
 	// GenTime is the database creation time.
@@ -104,7 +104,7 @@ func RunOn(db *oo1.Database, p Params, policy cluster.Policy) (*Result, error) {
 	p = p.withDefaults()
 	// Fixed roots: the recurring workload both phases replay.
 	src := lewis.New(p.Seed)
-	roots := make([]store.OID, p.Roots)
+	roots := make([]backend.OID, p.Roots)
 	for i := range roots {
 		roots[i] = db.ByID[src.IntRange(1, db.NumParts())]
 	}
@@ -135,7 +135,7 @@ func RunOn(db *oo1.Database, p Params, policy cluster.Policy) (*Result, error) {
 	}
 
 	clBefore := db.Store.Stats().Disk.ClusteringIOs()
-	var reloc store.RelocStats
+	var reloc backend.RelocStats
 	var err error
 	if policy != nil {
 		reloc, err = policy.Reorganize(db.Store)

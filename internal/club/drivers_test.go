@@ -1,0 +1,5 @@
+package club
+
+// The test binary opens backends by name; link the driver bundle, as the
+// commands do.
+import _ "ocb/internal/backend/all"

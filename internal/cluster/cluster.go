@@ -25,7 +25,7 @@ import (
 	"fmt"
 	"sort"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 // Policy is a database clustering strategy under benchmark.
@@ -39,15 +39,18 @@ type Policy interface {
 	Name() string
 	// ObserveLink records a navigation from src to dst along an
 	// inter-object reference.
-	ObserveLink(src, dst store.OID)
+	ObserveLink(src, dst backend.OID)
 	// ObserveRoot records the root object of a transaction.
-	ObserveRoot(root store.OID)
+	ObserveRoot(root backend.OID)
 	// EndTransaction marks a transaction boundary (DSTC's observation
 	// periods are counted in transactions).
 	EndTransaction()
 	// Reorganize computes a placement from gathered statistics and applies
-	// it to the store. The store charges the I/O to the clustering class.
-	Reorganize(s *store.Store) (store.RelocStats, error)
+	// it to the backend (which charges the I/O to the clustering class).
+	// On a backend without the backend.Relocator capability it returns an
+	// error wrapping backend.ErrNotSupported; experiments report the skip
+	// instead of failing.
+	Reorganize(s backend.Backend) (backend.RelocStats, error)
 	// Reset discards all gathered statistics.
 	Reset()
 }
@@ -60,17 +63,17 @@ type None struct{}
 func (None) Name() string { return "none" }
 
 // ObserveLink implements Policy.
-func (None) ObserveLink(_, _ store.OID) {}
+func (None) ObserveLink(_, _ backend.OID) {}
 
 // ObserveRoot implements Policy.
-func (None) ObserveRoot(store.OID) {}
+func (None) ObserveRoot(backend.OID) {}
 
 // EndTransaction implements Policy.
 func (None) EndTransaction() {}
 
 // Reorganize implements Policy.
-func (None) Reorganize(*store.Store) (store.RelocStats, error) {
-	return store.RelocStats{}, nil
+func (None) Reorganize(backend.Backend) (backend.RelocStats, error) {
+	return backend.RelocStats{}, nil
 }
 
 // Reset implements Policy.
@@ -78,7 +81,7 @@ func (None) Reset() {}
 
 // Enumerator lists all live objects, in a stable order, for placement
 // policies that relocate the whole database.
-type Enumerator func() []store.OID
+type Enumerator func() []backend.OID
 
 // Sequential reorganizes the whole database into ascending OID order. It
 // uses no usage statistics; it models plain defragmentation.
@@ -90,10 +93,10 @@ type Sequential struct {
 func (*Sequential) Name() string { return "sequential" }
 
 // ObserveLink implements Policy.
-func (*Sequential) ObserveLink(_, _ store.OID) {}
+func (*Sequential) ObserveLink(_, _ backend.OID) {}
 
 // ObserveRoot implements Policy.
-func (*Sequential) ObserveRoot(store.OID) {}
+func (*Sequential) ObserveRoot(backend.OID) {}
 
 // EndTransaction implements Policy.
 func (*Sequential) EndTransaction() {}
@@ -102,30 +105,34 @@ func (*Sequential) EndTransaction() {}
 func (*Sequential) Reset() {}
 
 // Reorganize implements Policy.
-func (s *Sequential) Reorganize(st *store.Store) (store.RelocStats, error) {
-	if s.Objects == nil {
-		return store.RelocStats{}, fmt.Errorf("cluster: Sequential needs an object enumerator")
+func (s *Sequential) Reorganize(st backend.Backend) (backend.RelocStats, error) {
+	rel, err := backend.AsRelocator(st)
+	if err != nil {
+		return backend.RelocStats{}, err
 	}
-	oids := append([]store.OID(nil), s.Objects()...)
+	if s.Objects == nil {
+		return backend.RelocStats{}, fmt.Errorf("cluster: Sequential needs an object enumerator")
+	}
+	oids := append([]backend.OID(nil), s.Objects()...)
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	return st.Relocate([][]store.OID{oids})
+	return rel.Relocate([][]backend.OID{oids})
 }
 
 // ByClass clusters all instances of the same class contiguously — static
 // type-based clustering. Label maps an object to its class identifier.
 type ByClass struct {
 	Objects Enumerator
-	Label   func(store.OID) (int, bool)
+	Label   func(backend.OID) (int, bool)
 }
 
 // Name implements Policy.
 func (*ByClass) Name() string { return "byclass" }
 
 // ObserveLink implements Policy.
-func (*ByClass) ObserveLink(_, _ store.OID) {}
+func (*ByClass) ObserveLink(_, _ backend.OID) {}
 
 // ObserveRoot implements Policy.
-func (*ByClass) ObserveRoot(store.OID) {}
+func (*ByClass) ObserveRoot(backend.OID) {}
 
 // EndTransaction implements Policy.
 func (*ByClass) EndTransaction() {}
@@ -134,11 +141,15 @@ func (*ByClass) EndTransaction() {}
 func (*ByClass) Reset() {}
 
 // Reorganize implements Policy.
-func (b *ByClass) Reorganize(st *store.Store) (store.RelocStats, error) {
-	if b.Objects == nil || b.Label == nil {
-		return store.RelocStats{}, fmt.Errorf("cluster: ByClass needs an enumerator and a labeler")
+func (b *ByClass) Reorganize(st backend.Backend) (backend.RelocStats, error) {
+	rel, err := backend.AsRelocator(st)
+	if err != nil {
+		return backend.RelocStats{}, err
 	}
-	groups := make(map[int][]store.OID)
+	if b.Objects == nil || b.Label == nil {
+		return backend.RelocStats{}, fmt.Errorf("cluster: ByClass needs an enumerator and a labeler")
+	}
+	groups := make(map[int][]backend.OID)
 	var classes []int
 	for _, oid := range b.Objects() {
 		c, ok := b.Label(oid)
@@ -151,11 +162,11 @@ func (b *ByClass) Reorganize(st *store.Store) (store.RelocStats, error) {
 		groups[c] = append(groups[c], oid)
 	}
 	sort.Ints(classes)
-	layout := make([][]store.OID, 0, len(classes))
+	layout := make([][]backend.OID, 0, len(classes))
 	for _, c := range classes {
 		g := groups[c]
 		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
 		layout = append(layout, g)
 	}
-	return st.Relocate(layout)
+	return rel.Relocate(layout)
 }

@@ -3,28 +3,14 @@ package cluster
 import (
 	"testing"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
+	"ocb/internal/backend/backendtest"
 )
 
 // buildStore creates n objects of size bytes each and commits them.
-func buildStore(t *testing.T, n, size int) (*store.Store, []store.OID) {
+func buildStore(t *testing.T, n, size int) (backendtest.PlacedBackend, []backend.OID) {
 	t.Helper()
-	s, err := store.Open(store.Config{PageSize: 256, BufferPages: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	oids := make([]store.OID, n)
-	for i := range oids {
-		oid, err := s.Create(size)
-		if err != nil {
-			t.Fatal(err)
-		}
-		oids[i] = oid
-	}
-	if err := s.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	return s, oids
+	return backendtest.BuildPaged(t, n, size)
 }
 
 func TestNoneIsInert(t *testing.T) {
@@ -53,10 +39,10 @@ func TestNoneIsInert(t *testing.T) {
 func TestSequentialOrdersByOID(t *testing.T) {
 	s, oids := buildStore(t, 9, 50)
 	// Scatter: relocate a few objects to the end first.
-	if _, err := s.Relocate([][]store.OID{{oids[8], oids[0], oids[4]}}); err != nil {
+	if _, err := s.Relocate([][]backend.OID{{oids[8], oids[0], oids[4]}}); err != nil {
 		t.Fatal(err)
 	}
-	seq := &Sequential{Objects: func() []store.OID { return oids }}
+	seq := &Sequential{Objects: func() []backend.OID { return oids }}
 	if _, err := seq.Reorganize(s); err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +74,11 @@ func TestSequentialNeedsEnumerator(t *testing.T) {
 
 func TestByClassGroupsInstances(t *testing.T) {
 	s, oids := buildStore(t, 9, 50)
-	label := func(oid store.OID) (int, bool) {
+	label := func(oid backend.OID) (int, bool) {
 		return int(oid) % 3, true // interleaved classes, as creation order
 	}
 	bc := &ByClass{
-		Objects: func() []store.OID { return oids },
+		Objects: func() []backend.OID { return oids },
 		Label:   label,
 	}
 	if _, err := bc.Reorganize(s); err != nil {
@@ -168,8 +154,8 @@ func TestGreedyRespectsCapacity(t *testing.T) {
 
 func TestGreedyIgnoresDegenerateLinks(t *testing.T) {
 	g := NewGreedy(0)
-	g.ObserveLink(store.NilOID, 5)
-	g.ObserveLink(5, store.NilOID)
+	g.ObserveLink(backend.NilOID, 5)
+	g.ObserveLink(5, backend.NilOID)
 	g.ObserveLink(7, 7)
 	if g.NumEdges() != 0 {
 		t.Fatalf("degenerate links recorded: %d", g.NumEdges())
@@ -200,7 +186,7 @@ func TestGreedyResetAndEmptyReorganize(t *testing.T) {
 }
 
 func TestGreedyDeterministic(t *testing.T) {
-	layout := func() map[store.OID]uint32 {
+	layout := func() map[backend.OID]uint32 {
 		s, oids := buildStore(t, 20, 50)
 		g := NewGreedy(0)
 		for i := 0; i < 19; i++ {
@@ -211,7 +197,7 @@ func TestGreedyDeterministic(t *testing.T) {
 		if _, err := g.Reorganize(s); err != nil {
 			t.Fatal(err)
 		}
-		m := make(map[store.OID]uint32)
+		m := make(map[backend.OID]uint32)
 		for _, oid := range oids {
 			pg, _ := s.PageOf(oid)
 			m[oid] = uint32(pg)

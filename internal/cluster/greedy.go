@@ -3,7 +3,7 @@ package cluster
 import (
 	"sort"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 // Greedy is a usage-driven graph-partitioning policy: it accumulates
@@ -26,9 +26,9 @@ type Greedy struct {
 	weights map[edge]float64
 }
 
-type edge struct{ a, b store.OID }
+type edge struct{ a, b backend.OID }
 
-func normEdge(x, y store.OID) edge {
+func normEdge(x, y backend.OID) edge {
 	if x > y {
 		x, y = y, x
 	}
@@ -47,8 +47,8 @@ func NewGreedy(maxClusterBytes int) *Greedy {
 func (*Greedy) Name() string { return "greedy" }
 
 // ObserveLink implements Policy.
-func (g *Greedy) ObserveLink(src, dst store.OID) {
-	if src == store.NilOID || dst == store.NilOID || src == dst {
+func (g *Greedy) ObserveLink(src, dst backend.OID) {
+	if src == backend.NilOID || dst == backend.NilOID || src == dst {
 		return
 	}
 	if g.weights == nil {
@@ -58,7 +58,7 @@ func (g *Greedy) ObserveLink(src, dst store.OID) {
 }
 
 // ObserveRoot implements Policy.
-func (*Greedy) ObserveRoot(store.OID) {}
+func (*Greedy) ObserveRoot(backend.OID) {}
 
 // EndTransaction implements Policy.
 func (*Greedy) EndTransaction() {}
@@ -70,13 +70,19 @@ func (g *Greedy) Reset() { g.weights = make(map[edge]float64) }
 func (g *Greedy) NumEdges() int { return len(g.weights) }
 
 // Reorganize implements Policy: capacity-bounded greedy edge merging.
-func (g *Greedy) Reorganize(st *store.Store) (store.RelocStats, error) {
+func (g *Greedy) Reorganize(st backend.Backend) (backend.RelocStats, error) {
+	// Capability first, even with nothing observed: a backend that cannot
+	// relocate must report the skip, not a vacuous success.
+	rel, err := backend.AsRelocator(st)
+	if err != nil {
+		return backend.RelocStats{}, err
+	}
 	if len(g.weights) == 0 {
-		return store.RelocStats{}, nil
+		return backend.RelocStats{}, nil
 	}
 	capBytes := g.MaxClusterBytes
 	if capBytes <= 0 {
-		capBytes = st.PageSize()
+		capBytes = backend.PageSizeOf(st)
 	}
 
 	type wedge struct {
@@ -102,7 +108,7 @@ func (g *Greedy) Reorganize(st *store.Store) (store.RelocStats, error) {
 	})
 
 	uf := newUnionFind()
-	sizeOf := func(oid store.OID) int {
+	sizeOf := func(oid backend.OID) int {
 		sz, ok := st.SizeOf(oid)
 		if !ok {
 			return 0
@@ -120,10 +126,10 @@ func (g *Greedy) Reorganize(st *store.Store) (store.RelocStats, error) {
 
 	// Emit clusters; objects within a cluster ordered by the heavy-edge
 	// sweep (first touch wins), clusters ordered by accumulated weight.
-	clusterOf := make(map[store.OID]int)
-	var clusters [][]store.OID
+	clusterOf := make(map[backend.OID]int)
+	var clusters [][]backend.OID
 	weightOf := make([]float64, 0)
-	rootIndex := make(map[store.OID]int)
+	rootIndex := make(map[backend.OID]int)
 	for _, we := range edges {
 		ra, oka := uf.find(we.e.a)
 		if !oka {
@@ -137,7 +143,7 @@ func (g *Greedy) Reorganize(st *store.Store) (store.RelocStats, error) {
 			weightOf = append(weightOf, 0)
 		}
 		weightOf[idx] += we.w
-		for _, oid := range []store.OID{we.e.a, we.e.b} {
+		for _, oid := range []backend.OID{we.e.a, we.e.b} {
 			r, _ := uf.find(oid)
 			if r != ra {
 				continue // edge straddles clusters (capacity split)
@@ -159,36 +165,36 @@ func (g *Greedy) Reorganize(st *store.Store) (store.RelocStats, error) {
 		}
 		return order[i] < order[j]
 	})
-	layout := make([][]store.OID, 0, len(clusters))
+	layout := make([][]backend.OID, 0, len(clusters))
 	for _, i := range order {
 		if len(clusters[i]) > 1 { // singleton clusters gain nothing
 			layout = append(layout, clusters[i])
 		}
 	}
-	return st.Relocate(layout)
+	return rel.Relocate(layout)
 }
 
 // unionFind is a size-bounded union-find over OIDs.
 type unionFind struct {
-	parent map[store.OID]store.OID
-	bytes  map[store.OID]int
+	parent map[backend.OID]backend.OID
+	bytes  map[backend.OID]int
 }
 
 func newUnionFind() *unionFind {
 	return &unionFind{
-		parent: make(map[store.OID]store.OID),
-		bytes:  make(map[store.OID]int),
+		parent: make(map[backend.OID]backend.OID),
+		bytes:  make(map[backend.OID]int),
 	}
 }
 
-func (u *unionFind) add(x store.OID, size int) {
+func (u *unionFind) add(x backend.OID, size int) {
 	if _, ok := u.parent[x]; !ok {
 		u.parent[x] = x
 		u.bytes[x] = size
 	}
 }
 
-func (u *unionFind) find(x store.OID) (store.OID, bool) {
+func (u *unionFind) find(x backend.OID) (backend.OID, bool) {
 	p, ok := u.parent[x]
 	if !ok {
 		return 0, false
@@ -203,7 +209,7 @@ func (u *unionFind) find(x store.OID) (store.OID, bool) {
 
 // unionBounded merges the two sets only if their combined size fits the
 // capacity; it reports whether a merge happened.
-func (u *unionFind) unionBounded(a, b store.OID, capBytes int) bool {
+func (u *unionFind) unionBounded(a, b backend.OID, capBytes int) bool {
 	ra, _ := u.find(a)
 	rb, _ := u.find(b)
 	if ra == rb {

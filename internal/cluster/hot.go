@@ -3,7 +3,7 @@ package cluster
 import (
 	"sort"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 // Hot is a frequency-based placement policy: it counts object accesses
@@ -18,29 +18,29 @@ type Hot struct {
 	// keeps everything observed.
 	MinCount float64
 
-	counts map[store.OID]float64
+	counts map[backend.OID]float64
 }
 
 // NewHot returns an empty Hot policy.
 func NewHot() *Hot {
-	return &Hot{counts: make(map[store.OID]float64)}
+	return &Hot{counts: make(map[backend.OID]float64)}
 }
 
 // Name implements Policy.
 func (*Hot) Name() string { return "hot" }
 
 // ObserveLink implements Policy.
-func (h *Hot) ObserveLink(_, dst store.OID) { h.observe(dst) }
+func (h *Hot) ObserveLink(_, dst backend.OID) { h.observe(dst) }
 
 // ObserveRoot implements Policy.
-func (h *Hot) ObserveRoot(root store.OID) { h.observe(root) }
+func (h *Hot) ObserveRoot(root backend.OID) { h.observe(root) }
 
-func (h *Hot) observe(oid store.OID) {
-	if oid == store.NilOID {
+func (h *Hot) observe(oid backend.OID) {
+	if oid == backend.NilOID {
 		return
 	}
 	if h.counts == nil {
-		h.counts = make(map[store.OID]float64)
+		h.counts = make(map[backend.OID]float64)
 	}
 	h.counts[oid]++
 }
@@ -49,19 +49,25 @@ func (h *Hot) observe(oid store.OID) {
 func (*Hot) EndTransaction() {}
 
 // Reset implements Policy.
-func (h *Hot) Reset() { h.counts = make(map[store.OID]float64) }
+func (h *Hot) Reset() { h.counts = make(map[backend.OID]float64) }
 
 // NumObserved returns the number of distinct objects seen.
 func (h *Hot) NumObserved() int { return len(h.counts) }
 
 // Reorganize implements Policy: one placement run ordered by decreasing
 // temperature.
-func (h *Hot) Reorganize(st *store.Store) (store.RelocStats, error) {
+func (h *Hot) Reorganize(st backend.Backend) (backend.RelocStats, error) {
+	// Capability first, even with nothing observed: a backend that cannot
+	// relocate must report the skip, not a vacuous success.
+	rel, err := backend.AsRelocator(st)
+	if err != nil {
+		return backend.RelocStats{}, err
+	}
 	if len(h.counts) == 0 {
-		return store.RelocStats{}, nil
+		return backend.RelocStats{}, nil
 	}
 	type hotObj struct {
-		oid   store.OID
+		oid   backend.OID
 		count float64
 	}
 	objs := make([]hotObj, 0, len(h.counts))
@@ -77,9 +83,9 @@ func (h *Hot) Reorganize(st *store.Store) (store.RelocStats, error) {
 		}
 		return objs[i].oid < objs[j].oid
 	})
-	run := make([]store.OID, len(objs))
+	run := make([]backend.OID, len(objs))
 	for i, o := range objs {
 		run[i] = o.oid
 	}
-	return st.Relocate([][]store.OID{run})
+	return rel.Relocate([][]backend.OID{run})
 }

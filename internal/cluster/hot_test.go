@@ -3,7 +3,7 @@ package cluster
 import (
 	"testing"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 func TestHotPacksByFrequency(t *testing.T) {
@@ -47,8 +47,8 @@ func TestHotMinCountFilters(t *testing.T) {
 
 func TestHotIgnoresNil(t *testing.T) {
 	h := NewHot()
-	h.ObserveRoot(store.NilOID)
-	h.ObserveLink(1, store.NilOID)
+	h.ObserveRoot(backend.NilOID)
+	h.ObserveLink(1, backend.NilOID)
 	if h.NumObserved() != 0 {
 		t.Fatalf("observed = %d", h.NumObserved())
 	}
@@ -73,7 +73,7 @@ func TestHotResetAndEmpty(t *testing.T) {
 }
 
 func TestHotDeterministicOrder(t *testing.T) {
-	run := func() map[store.OID]uint32 {
+	run := func() map[backend.OID]uint32 {
 		s, oids := buildStore(t, 12, 50)
 		h := NewHot()
 		for i, oid := range oids {
@@ -84,7 +84,7 @@ func TestHotDeterministicOrder(t *testing.T) {
 		if _, err := h.Reorganize(s); err != nil {
 			t.Fatal(err)
 		}
-		m := make(map[store.OID]uint32)
+		m := make(map[backend.OID]uint32)
 		for _, oid := range oids {
 			pg, _ := s.PageOf(oid)
 			m[oid] = uint32(pg)

@@ -3,7 +3,7 @@ package cluster
 import (
 	"sync"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 // Synchronize wraps a policy so its observation callbacks can be invoked
@@ -28,14 +28,14 @@ type synchronized struct {
 func (s *synchronized) Name() string { return s.inner.Name() }
 
 // ObserveLink implements Policy.
-func (s *synchronized) ObserveLink(src, dst store.OID) {
+func (s *synchronized) ObserveLink(src, dst backend.OID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inner.ObserveLink(src, dst)
 }
 
 // ObserveRoot implements Policy.
-func (s *synchronized) ObserveRoot(root store.OID) {
+func (s *synchronized) ObserveRoot(root backend.OID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inner.ObserveRoot(root)
@@ -49,7 +49,7 @@ func (s *synchronized) EndTransaction() {
 }
 
 // Reorganize implements Policy.
-func (s *synchronized) Reorganize(st *store.Store) (store.RelocStats, error) {
+func (s *synchronized) Reorganize(st backend.Backend) (backend.RelocStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inner.Reorganize(st)

@@ -6,8 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // Object is one instance of an OCB class (the OBJECT side of Fig. 1).
@@ -17,14 +17,14 @@ import (
 type Object struct {
 	// OID is the store identity; object #i of the generation algorithm
 	// has OID i.
-	OID store.OID
+	OID backend.OID
 	// Class is the ClassPtr of Fig. 1 (class id, 1..NC).
 	Class int
 	// ORef are the typed forward references (NilOID allowed).
-	ORef []store.OID
+	ORef []backend.OID
 	// BackRef are the reverse references, maintained symmetrically to the
 	// ORef arrays pointing at this object.
-	BackRef []store.OID
+	BackRef []backend.OID
 }
 
 // Database is a fully generated OCB object base bound to its store.
@@ -35,16 +35,17 @@ type Database struct {
 	Schema *Schema
 	// Objects is indexed by OID (Objects[0] is nil).
 	Objects []*Object
-	// Store holds placement and counts I/Os.
-	Store *store.Store
+	// Store is the system under test: any registered backend driver.
+	// Placement and I/O accounting live behind its interface.
+	Store backend.Backend
 	// GenTime is the wall-clock duration of Generate, the metric of the
 	// paper's Fig. 4 (database average creation time).
 	GenTime time.Duration
 
 	// live tracks the live object set under the generic workload's
 	// insertions and deletions (swap-remove list + index).
-	live    []store.OID
-	liveIdx map[store.OID]int
+	live    []backend.OID
+	liveIdx map[backend.OID]int
 
 	// liveSnap is the ascending-OID snapshot LiveOIDs serves without
 	// rebuilding an O(n) slice per call. Insertions extend it in place
@@ -53,7 +54,7 @@ type Database struct {
 	// snapMu guards the rebuild so concurrent readers (which only hold
 	// mu.RLock) do not race; liveSnapOK is the double-checked flag.
 	snapMu     sync.Mutex
-	liveSnap   []store.OID
+	liveSnap   []backend.OID
 	liveSnapOK atomic.Bool
 
 	// mu guards the in-memory object graph (Objects, class iterators,
@@ -80,11 +81,12 @@ func Generate(p Params) (*Database, error) {
 		return nil, err
 	}
 
-	st, err := store.Open(store.Config{
+	st, err := backend.Open(p.Backend, backend.Config{
 		PageSize:    p.PageSize,
 		BufferPages: p.BufferPages,
 		Policy:      p.BufferPolicy,
 		Shards:      p.storeShards(),
+		Options:     p.BackendOptions,
 	})
 	if err != nil {
 		return nil, err
@@ -107,13 +109,13 @@ func Generate(p Params) (*Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ocb: creating object %d (class %d): %w", i, classID, err)
 		}
-		if oid != store.OID(i) {
+		if oid != backend.OID(i) {
 			return nil, fmt.Errorf("ocb: store issued OID %d for object %d", oid, i)
 		}
 		obj := &Object{
 			OID:   oid,
 			Class: classID,
-			ORef:  make([]store.OID, class.MaxNRef),
+			ORef:  make([]backend.OID, class.MaxNRef),
 		}
 		db.Objects[i] = obj
 		class.Iterator = append(class.Iterator, oid)
@@ -132,7 +134,7 @@ func Generate(p Params) (*Database, error) {
 			for k := 0; k < class.MaxNRef; k++ {
 				targetClass := schema.Class(class.CRef[k])
 				if targetClass == nil || len(targetClass.Iterator) == 0 {
-					obj.ORef[k] = store.NilOID
+					obj.ORef[k] = backend.NilOID
 					continue
 				}
 				count := len(targetClass.Iterator)
@@ -166,8 +168,8 @@ func MustGenerate(p Params) *Database {
 }
 
 // Object returns the object with the given OID, or nil.
-func (db *Database) Object(oid store.OID) *Object {
-	if oid == store.NilOID || int(oid) >= len(db.Objects) {
+func (db *Database) Object(oid backend.OID) *Object {
+	if oid == backend.NilOID || int(oid) >= len(db.Objects) {
 		return nil
 	}
 	return db.Objects[oid]
@@ -178,7 +180,7 @@ func (db *Database) NO() int { return len(db.Objects) - 1 }
 
 // ClassOf returns the class id of an object (0 if unknown), in the shape
 // clustering policies want for type-based grouping.
-func (db *Database) ClassOf(oid store.OID) (int, bool) {
+func (db *Database) ClassOf(oid backend.OID) (int, bool) {
 	o := db.Object(oid)
 	if o == nil {
 		return 0, false
@@ -189,8 +191,8 @@ func (db *Database) ClassOf(oid store.OID) (int, bool) {
 // AllOIDs enumerates every live object id in ascending order, the
 // enumerator whole-database policies need. Unlike LiveOIDs it returns a
 // fresh slice the caller may reorder freely.
-func (db *Database) AllOIDs() []store.OID {
-	return append([]store.OID(nil), db.LiveOIDs()...)
+func (db *Database) AllOIDs() []backend.OID {
+	return append([]backend.OID(nil), db.LiveOIDs()...)
 }
 
 // CheckDatabase verifies the object-graph invariants: reference targets
@@ -226,9 +228,9 @@ func CheckDatabase(db *Database) error {
 			return fmt.Errorf("ocb: live snapshot names untracked object %d", oid)
 		}
 	}
-	if db.Store.NumObjects() != db.NumLive() {
+	if n := db.Store.Stats().Objects; n != db.NumLive() {
 		return fmt.Errorf("ocb: store holds %d objects, live set says %d",
-			db.Store.NumObjects(), db.NumLive())
+			n, db.NumLive())
 	}
 	iterSum := 0
 	for ci := 1; ci <= p.NC; ci++ {
@@ -238,7 +240,7 @@ func CheckDatabase(db *Database) error {
 		return fmt.Errorf("ocb: iterators cover %d objects, live set says %d", iterSum, db.NumLive())
 	}
 	type link struct {
-		from, to store.OID
+		from, to backend.OID
 	}
 	forward := make(map[link]int)
 	for i := 1; i < len(db.Objects); i++ {
@@ -260,7 +262,7 @@ func CheckDatabase(db *Database) error {
 			return fmt.Errorf("ocb: object %d not in store", i)
 		}
 		for k, target := range obj.ORef {
-			if target == store.NilOID {
+			if target == backend.NilOID {
 				if class.CRef[k] != NilClass && !mutated {
 					// A NIL object reference with a non-NIL class target can
 					// only happen when the target class has no instances
@@ -292,7 +294,7 @@ func CheckDatabase(db *Database) error {
 			continue
 		}
 		for _, from := range db.Objects[i].BackRef {
-			backward[link{from, store.OID(i)}]++
+			backward[link{from, backend.OID(i)}]++
 		}
 	}
 	if len(forward) != len(backward) {

@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 func TestGenerateSmallDatabase(t *testing.T) {
@@ -54,8 +54,8 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	// Placement must also be identical.
 	for i := 1; i <= p.NO; i++ {
-		pa, _ := a.Store.PageOf(store.OID(i))
-		pb, _ := b.Store.PageOf(store.OID(i))
+		pa, _ := a.Store.(backend.Placer).PageOf(backend.OID(i))
+		pb, _ := b.Store.(backend.Placer).PageOf(backend.OID(i))
 		if pa != pb {
 			t.Fatalf("object %d placed differently: %d vs %d", i, pa, pb)
 		}
@@ -120,7 +120,7 @@ func TestCluBDatabaseGenerates(t *testing.T) {
 	for i := 1; i <= p.NO; i++ {
 		obj := db.Objects[i]
 		for _, r := range obj.ORef {
-			if r == store.NilOID {
+			if r == backend.NilOID {
 				continue
 			}
 			if c, _ := db.ClassOf(r); c != 1 {
@@ -145,7 +145,7 @@ func TestRefZoneLocalityInDatabase(t *testing.T) {
 	local, total := 0, 0
 	for i := 1; i <= p.NO; i++ {
 		for _, r := range db.Objects[i].ORef {
-			if r == store.NilOID {
+			if r == backend.NilOID {
 				continue
 			}
 			total++
@@ -170,20 +170,20 @@ func TestRefZoneLocalityInDatabase(t *testing.T) {
 func TestObjectAccessors(t *testing.T) {
 	p := smallParams()
 	db := MustGenerate(p)
-	if db.Object(store.NilOID) != nil {
+	if db.Object(backend.NilOID) != nil {
 		t.Fatal("NilOID returned an object")
 	}
-	if db.Object(store.OID(p.NO+5)) != nil {
+	if db.Object(backend.OID(p.NO+5)) != nil {
 		t.Fatal("out-of-range OID returned an object")
 	}
 	if c, ok := db.ClassOf(1); !ok || c < 1 || c > p.NC {
 		t.Fatalf("ClassOf(1) = %d, %v", c, ok)
 	}
-	if _, ok := db.ClassOf(store.OID(p.NO + 5)); ok {
+	if _, ok := db.ClassOf(backend.OID(p.NO + 5)); ok {
 		t.Fatal("ClassOf accepted bad OID")
 	}
 	oids := db.AllOIDs()
-	if len(oids) != p.NO || oids[0] != 1 || oids[len(oids)-1] != store.OID(p.NO) {
+	if len(oids) != p.NO || oids[0] != 1 || oids[len(oids)-1] != backend.OID(p.NO) {
 		t.Fatalf("AllOIDs wrong: len=%d", len(oids))
 	}
 }
@@ -211,7 +211,7 @@ func TestGenerateLargeInstances(t *testing.T) {
 	if err := CheckDatabase(db); err != nil {
 		t.Fatal(err)
 	}
-	pages, ok := db.Store.PagesOf(1)
+	pages, ok := db.Store.(backend.Placer).PagesOf(1)
 	if !ok || len(pages) < 2 {
 		t.Fatalf("large instance not spanning pages: %v, %v", pages, ok)
 	}
@@ -227,7 +227,7 @@ func TestCheckDatabaseCatchesCorruption(t *testing.T) {
 	var victim *Object
 	for i := 1; i <= p.NO && victim == nil; i++ {
 		for _, r := range db.Objects[i].ORef {
-			if r != store.NilOID {
+			if r != backend.NilOID {
 				victim = db.Objects[i]
 				break
 			}
@@ -237,8 +237,8 @@ func TestCheckDatabaseCatchesCorruption(t *testing.T) {
 		t.Skip("no references in this configuration")
 	}
 	for k, r := range victim.ORef {
-		if r != store.NilOID {
-			victim.ORef[k] = store.NilOID
+		if r != backend.NilOID {
+			victim.ORef[k] = backend.NilOID
 			break
 		}
 	}

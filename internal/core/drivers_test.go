@@ -1,0 +1,19 @@
+package core
+
+// The test binary opens backends by name; link the driver bundle, as the
+// commands do.
+import (
+	_ "ocb/internal/backend/all"
+	"ocb/internal/disk"
+)
+
+// storeDisk reaches the fault-injection hook of the paged backend's disk.
+// Tests that inject failures are inherently paged-store tests, so a
+// failing capability assertion is a test bug, not a skip.
+func storeDisk(db *Database) *disk.Disk {
+	d, ok := db.Store.(interface{ Disk() *disk.Disk })
+	if !ok {
+		panic("test database is not on a disk-backed store")
+	}
+	return d.Disk()
+}

@@ -5,9 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"ocb/internal/backend"
 	"ocb/internal/disk"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // These tests inject disk faults through the disk.FailureHook and verify
@@ -33,7 +33,7 @@ func TestTraversalPropagatesReadFault(t *testing.T) {
 	p.BufferPages = 4 // force faults during the traversal
 	db := MustGenerate(p)
 	db.Store.DropCache()
-	db.Store.Disk().FailureHook = faultAfter(3)
+	storeDisk(db).FailureHook = faultAfter(3)
 
 	ex := NewExecutor(db, nil, lewis.New(1))
 	_, err := ex.Exec(Transaction{Type: SimpleTraversal, Root: 1, Depth: 3})
@@ -47,7 +47,7 @@ func TestRunnerPropagatesFault(t *testing.T) {
 	p.BufferPages = 4
 	db := MustGenerate(p)
 	db.Store.DropCache()
-	db.Store.Disk().FailureHook = faultAfter(5)
+	storeDisk(db).FailureHook = faultAfter(5)
 
 	r := NewRunner(db, nil)
 	_, err := r.RunPhase("faulty", 50, 1)
@@ -63,7 +63,7 @@ func TestRunnerPropagatesFault(t *testing.T) {
 func TestCommitPropagatesWriteFault(t *testing.T) {
 	p := smallParams()
 	db := MustGenerate(p)
-	db.Store.Disk().FailureHook = func(op disk.Op, _ disk.PageID) error {
+	storeDisk(db).FailureHook = func(op disk.Op, _ disk.PageID) error {
 		if op == disk.OpWrite {
 			return errInjected
 		}
@@ -81,7 +81,7 @@ func TestInsertPropagatesFault(t *testing.T) {
 	p.BufferPages = 2
 	db := MustGenerate(p)
 	db.Store.DropCache()
-	db.Store.Disk().FailureHook = func(disk.Op, disk.PageID) error { return errInjected }
+	storeDisk(db).FailureHook = func(disk.Op, disk.PageID) error { return errInjected }
 	ex := NewExecutor(db, nil, lewis.New(1))
 	if _, err := ex.Exec(Transaction{Type: InsertOp}); !errors.Is(err, errInjected) {
 		t.Fatalf("insert fault not propagated: %v", err)
@@ -92,13 +92,13 @@ func TestRelocatePropagatesFault(t *testing.T) {
 	p := smallParams()
 	db := MustGenerate(p)
 	cluster := db.AllOIDs()[:6]
-	db.Store.Disk().FailureHook = faultAfter(0)
-	_, err := db.Store.Relocate([][]store.OID{cluster})
+	storeDisk(db).FailureHook = faultAfter(0)
+	_, err := db.Store.(backend.Relocator).Relocate([][]backend.OID{cluster})
 	if !errors.Is(err, errInjected) {
 		t.Fatalf("relocation fault not propagated: %v", err)
 	}
 	// After clearing the fault the store must still serve reads.
-	db.Store.Disk().FailureHook = nil
+	storeDisk(db).FailureHook = nil
 	if err := db.Store.Access(cluster[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestSaveUnderWriteFault(t *testing.T) {
 	if err := db.Store.Update(1); err != nil {
 		t.Fatal(err)
 	}
-	db.Store.Disk().FailureHook = func(op disk.Op, _ disk.PageID) error {
+	storeDisk(db).FailureHook = func(op disk.Op, _ disk.PageID) error {
 		if op == disk.OpWrite {
 			return errInjected
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
 )
 
@@ -11,37 +12,45 @@ import (
 // fast-path rewrite: once an executor's scratch is warm and the database
 // resident, no transaction type may allocate — per visited object or per
 // transaction — so the harness's own overhead stays out of the measured
-// response times.
+// response times. Every call now dispatches through the backend.Backend
+// interface, so the gate runs against each registered backend: interface
+// dispatch on the hot Access/AccessBatch path must not reintroduce
+// per-transaction allocations on any driver.
 func TestTraversalFastPathAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops entries under the race detector; allocation counts are not meaningful")
 	}
-	p := chainParams(3, 2000)
-	p.BufferPages = 2048 // resident: no eviction churn in the pool
-	db := MustGenerate(p)
-	ex := NewExecutor(db, nil, lewis.New(1))
-	for _, tc := range []struct {
-		name string
-		tx   Transaction
-	}{
-		{"set", Transaction{Type: SetAccess, Root: 1, Depth: 3}},
-		{"simple", Transaction{Type: SimpleTraversal, Root: 1, Depth: 3}},
-		{"hierarchy", Transaction{Type: HierarchyTraversal, Root: 1, Depth: 5, RefType: 1}},
-		{"stochastic", Transaction{Type: StochasticTraversal, Root: 1, Depth: 50}},
-		{"scan", Transaction{Type: ScanOp}},
-		{"range", Transaction{Type: RangeOp, Root: 1}},
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			if _, err := ex.Exec(tc.tx); err != nil {
-				t.Fatal(err)
-			}
-			avg := testing.AllocsPerRun(50, func() {
-				if _, err := ex.Exec(tc.tx); err != nil {
-					t.Fatal(err)
-				}
-			})
-			if avg != 0 {
-				t.Fatalf("%s allocates %.1f per transaction, want 0", tc.name, avg)
+	for _, be := range backend.List() {
+		t.Run(be, func(t *testing.T) {
+			p := chainParams(3, 2000)
+			p.Backend = be
+			p.BufferPages = 2048 // resident: no eviction churn in the pool
+			db := MustGenerate(p)
+			ex := NewExecutor(db, nil, lewis.New(1))
+			for _, tc := range []struct {
+				name string
+				tx   Transaction
+			}{
+				{"set", Transaction{Type: SetAccess, Root: 1, Depth: 3}},
+				{"simple", Transaction{Type: SimpleTraversal, Root: 1, Depth: 3}},
+				{"hierarchy", Transaction{Type: HierarchyTraversal, Root: 1, Depth: 5, RefType: 1}},
+				{"stochastic", Transaction{Type: StochasticTraversal, Root: 1, Depth: 50}},
+				{"scan", Transaction{Type: ScanOp}},
+				{"range", Transaction{Type: RangeOp, Root: 1}},
+			} {
+				t.Run(tc.name, func(t *testing.T) {
+					if _, err := ex.Exec(tc.tx); err != nil {
+						t.Fatal(err)
+					}
+					avg := testing.AllocsPerRun(50, func() {
+						if _, err := ex.Exec(tc.tx); err != nil {
+							t.Fatal(err)
+						}
+					})
+					if avg != 0 {
+						t.Fatalf("%s allocates %.1f per transaction on %s, want 0", tc.name, avg, be)
+					}
+				})
 			}
 		})
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // This file implements the paper's Section 5 extension: "OCB could be
@@ -22,8 +22,8 @@ import (
 
 // initLive seeds the live-object tracking after generation.
 func (db *Database) initLive() {
-	db.live = make([]store.OID, 0, db.NO())
-	db.liveIdx = make(map[store.OID]int, db.NO())
+	db.live = make([]backend.OID, 0, db.NO())
+	db.liveIdx = make(map[backend.OID]int, db.NO())
 	for i := 1; i < len(db.Objects); i++ {
 		if db.Objects[i] != nil {
 			db.liveIdx[db.Objects[i].OID] = len(db.live)
@@ -31,7 +31,7 @@ func (db *Database) initLive() {
 		}
 	}
 	db.snapMu.Lock()
-	db.liveSnap = append([]store.OID(nil), db.live...)
+	db.liveSnap = append([]backend.OID(nil), db.live...)
 	db.liveSnapOK.Store(true)
 	db.snapMu.Unlock()
 }
@@ -46,7 +46,7 @@ func (db *Database) NumLive() int { return len(db.live) }
 // transactions and ResolveLive ride this snapshot so they no longer rebuild
 // an O(n) slice per call; callers that want to reorder the result should
 // use AllOIDs instead.
-func (db *Database) LiveOIDs() []store.OID {
+func (db *Database) LiveOIDs() []backend.OID {
 	if db.liveSnapOK.Load() {
 		return db.liveSnap
 	}
@@ -55,7 +55,7 @@ func (db *Database) LiveOIDs() []store.OID {
 	if !db.liveSnapOK.Load() {
 		// Rebuild into a fresh slice: snapshots handed out earlier stay
 		// intact for their holders.
-		snap := make([]store.OID, 0, len(db.live))
+		snap := make([]backend.OID, 0, len(db.live))
 		for i := 1; i < len(db.Objects); i++ {
 			if db.Objects[i] != nil {
 				snap = append(snap, db.Objects[i].OID)
@@ -71,10 +71,10 @@ func (db *Database) LiveOIDs() []store.OID {
 // otherwise the next live OID upward (wrapping). It lets transaction roots
 // drawn from the static [1, NO] interval stay valid under deletion. The
 // lookup binary-searches the ascending live snapshot.
-func (db *Database) ResolveLive(oid store.OID) (store.OID, bool) {
+func (db *Database) ResolveLive(oid backend.OID) (backend.OID, bool) {
 	live := db.LiveOIDs()
 	if len(live) == 0 {
-		return store.NilOID, false
+		return backend.NilOID, false
 	}
 	i := sort.Search(len(live), func(i int) bool { return live[i] >= oid })
 	if i == len(live) {
@@ -86,7 +86,7 @@ func (db *Database) ResolveLive(oid store.OID) (store.OID, bool) {
 // trackInsert registers a new live object. Callers hold the database's
 // exclusive lock. OIDs are issued in increasing order, so the ascending
 // snapshot extends in place without losing sortedness.
-func (db *Database) trackInsert(oid store.OID) {
+func (db *Database) trackInsert(oid backend.OID) {
 	if db.liveIdx == nil {
 		db.initLive()
 		return
@@ -102,7 +102,7 @@ func (db *Database) trackInsert(oid store.OID) {
 
 // trackDelete unregisters a live object (swap-remove) and invalidates the
 // ascending snapshot; the next LiveOIDs call rebuilds it.
-func (db *Database) trackDelete(oid store.OID) {
+func (db *Database) trackDelete(oid backend.OID) {
 	i, ok := db.liveIdx[oid]
 	if !ok {
 		return
@@ -134,7 +134,7 @@ func (db *Database) InsertObject(src *lewis.Source) (*Object, error) {
 	if int(oid) != len(db.Objects) {
 		return nil, fmt.Errorf("ocb: insert got OID %d, want %d", oid, len(db.Objects))
 	}
-	obj := &Object{OID: oid, Class: classID, ORef: make([]store.OID, class.MaxNRef)}
+	obj := &Object{OID: oid, Class: classID, ORef: make([]backend.OID, class.MaxNRef)}
 	db.Objects = append(db.Objects, obj)
 	class.Iterator = append(class.Iterator, oid)
 	db.trackInsert(oid)
@@ -142,7 +142,7 @@ func (db *Database) InsertObject(src *lewis.Source) (*Object, error) {
 	for k := 0; k < class.MaxNRef; k++ {
 		targetClass := db.Schema.Class(class.CRef[k])
 		if targetClass == nil || len(targetClass.Iterator) == 0 {
-			obj.ORef[k] = store.NilOID
+			obj.ORef[k] = backend.NilOID
 			continue
 		}
 		count := len(targetClass.Iterator)
@@ -161,14 +161,14 @@ func (db *Database) InsertObject(src *lewis.Source) (*Object, error) {
 // slots become NIL, targets lose the matching BackRef entries, the class
 // iterator shrinks, and the store page is updated. The change is
 // committed.
-func (db *Database) DeleteObject(oid store.OID) error {
+func (db *Database) DeleteObject(oid backend.OID) error {
 	obj := db.Object(oid)
 	if obj == nil {
-		return fmt.Errorf("%w: %d", store.ErrNoSuchObject, oid)
+		return fmt.Errorf("%w: %d", backend.ErrNoSuchObject, oid)
 	}
 	// Forward references: drop this object from each target's BackRef.
 	for _, target := range obj.ORef {
-		if target == store.NilOID {
+		if target == backend.NilOID {
 			continue
 		}
 		tobj := db.Object(target)
@@ -190,7 +190,7 @@ func (db *Database) DeleteObject(oid store.OID) error {
 		}
 		for k, r := range fobj.ORef {
 			if r == oid {
-				fobj.ORef[k] = store.NilOID
+				fobj.ORef[k] = backend.NilOID
 				break
 			}
 		}

@@ -3,8 +3,8 @@ package core
 import (
 	"testing"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 func genericSmall() Params {
@@ -43,7 +43,7 @@ func TestInsertObjectMaintainsInvariants(t *testing.T) {
 	if db.NumLive() != before+1 {
 		t.Fatalf("live = %d, want %d", db.NumLive(), before+1)
 	}
-	if obj.OID != store.OID(p.NO+1) {
+	if obj.OID != backend.OID(p.NO+1) {
 		t.Fatalf("new OID = %d", obj.OID)
 	}
 	if obj.Class < 1 || obj.Class > p.NC {
@@ -58,25 +58,25 @@ func TestDeleteObjectRepairsGraph(t *testing.T) {
 	p := genericSmall()
 	db := MustGenerate(p)
 	// Pick a victim with both in- and out-links.
-	var victim store.OID
+	var victim backend.OID
 	for i := 1; i <= p.NO; i++ {
 		obj := db.Objects[i]
 		if len(obj.BackRef) > 0 {
 			for _, r := range obj.ORef {
-				if r != store.NilOID {
+				if r != backend.NilOID {
 					victim = obj.OID
 					break
 				}
 			}
 		}
-		if victim != store.NilOID {
+		if victim != backend.NilOID {
 			break
 		}
 	}
-	if victim == store.NilOID {
+	if victim == backend.NilOID {
 		t.Skip("no suitable victim")
 	}
-	referrers := append([]store.OID(nil), db.Object(victim).BackRef...)
+	referrers := append([]backend.OID(nil), db.Object(victim).BackRef...)
 	if err := db.DeleteObject(victim); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestResolveLive(t *testing.T) {
 		t.Fatalf("deleted OID resolved to %d, %v", got, ok)
 	}
 	// Out-of-range input still resolves somewhere live.
-	if got, ok := db.ResolveLive(store.OID(p.NO + 500)); !ok || db.Object(got) == nil {
+	if got, ok := db.ResolveLive(backend.OID(p.NO + 500)); !ok || db.Object(got) == nil {
 		t.Fatalf("out-of-range resolved to %d, %v", got, ok)
 	}
 }
@@ -257,7 +257,7 @@ func TestScanAfterChurnMatchesLiveSet(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for oid := store.OID(20); oid < 40; oid += 2 {
+	for oid := backend.OID(20); oid < 40; oid += 2 {
 		if err := db.DeleteObject(oid); err != nil {
 			t.Fatal(err)
 		}

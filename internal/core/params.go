@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/lewis"
 )
@@ -98,7 +99,17 @@ type Params struct {
 
 	// ---- Testbed geometry (Section 4.2 material conditions) ----
 
-	// PageSize is the disk page size in bytes. Default 4096.
+	// Backend names the system-under-test driver the database is built
+	// on ("" selects "paged", the benchmark's own store). Any driver
+	// registered with the backend package is valid; the workload runs
+	// unchanged against all of them.
+	Backend string
+	// BackendOptions are driver-specific key=value settings, validated by
+	// the driver (unknown keys are rejected naming the valid ones). They
+	// take precedence over the typed geometry fields below.
+	BackendOptions map[string]string
+	// PageSize is the disk page size in bytes for paged backends.
+	// Default 4096. Backends without pages ignore it.
 	PageSize int
 	// BufferPages is the number of page frames of main memory. Default 512.
 	BufferPages int
@@ -253,6 +264,14 @@ func (p Params) Validate() error {
 		return fmt.Errorf("ocb: StoreShards = %d, need >= 0", p.StoreShards)
 	}
 	return nil
+}
+
+// backendName resolves the effective backend driver name.
+func (p Params) backendName() string {
+	if p.Backend == "" {
+		return backend.DefaultName
+	}
+	return p.Backend
 }
 
 // storeShards resolves the effective lock-sharding degree (see the

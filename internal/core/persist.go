@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"io"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // persisted is the on-wire form of a generated database: the parameters
@@ -23,7 +23,10 @@ type persisted struct {
 	// slice extent.
 	Objects []*Object
 	MaxOID  int
-	Image   *store.Image
+	// Backend is the driver the image was captured from (and must be
+	// restored with); Image is its serialized durable state.
+	Backend string
+	Image   *backend.Image
 }
 
 func init() {
@@ -41,9 +44,15 @@ func init() {
 
 // Save serializes the database — schema, object graph and physical
 // placement — so an expensive generation can be reused across benchmark
-// processes. Dirty pages are flushed as part of imaging.
+// processes. Dirty pages are flushed as part of imaging. Saving requires
+// the backend.Snapshotter capability; on backends without it (flatmem)
+// the error wraps backend.ErrNotSupported.
 func (db *Database) Save(w io.Writer) error {
-	img, err := db.Store.Image()
+	snap, ok := db.Store.(backend.Snapshotter)
+	if !ok {
+		return fmt.Errorf("ocb: saving backend %q: %w: persistence", db.P.backendName(), backend.ErrNotSupported)
+	}
+	img, err := snap.Image()
 	if err != nil {
 		return fmt.Errorf("ocb: imaging store: %w", err)
 	}
@@ -59,6 +68,7 @@ func (db *Database) Save(w io.Writer) error {
 		Classes: db.Schema.Classes[1:],
 		Objects: live,
 		MaxOID:  len(db.Objects) - 1,
+		Backend: db.P.backendName(),
 		Image:   img,
 	})
 }
@@ -71,7 +81,7 @@ func Load(r io.Reader) (*Database, error) {
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("ocb: decoding database: %w", err)
 	}
-	st, err := store.FromImage(p.Image)
+	st, err := backend.Restore(p.Backend, p.Image)
 	if err != nil {
 		return nil, fmt.Errorf("ocb: restoring store: %w", err)
 	}

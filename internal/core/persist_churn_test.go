@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"testing"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // TestSaveLoadAfterChurn persists a database that has seen generic-workload
@@ -20,7 +20,7 @@ func TestSaveLoadAfterChurn(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for oid := store.OID(10); oid < 60; oid += 5 {
+	for oid := backend.OID(10); oid < 60; oid += 5 {
 		if err := db.DeleteObject(oid); err != nil {
 			t.Fatal(err)
 		}
@@ -46,13 +46,13 @@ func TestSaveLoadAfterChurn(t *testing.T) {
 	if loaded.Object(10) != nil {
 		t.Fatal("deleted object resurrected")
 	}
-	if loaded.Object(store.OID(p.NO+1)) == nil {
+	if loaded.Object(backend.OID(p.NO+1)) == nil {
 		t.Fatal("inserted object lost")
 	}
 	if err := CheckDatabase(loaded); err != nil {
 		t.Fatal(err)
 	}
-	if err := loaded.Store.CheckIntegrity(); err != nil {
+	if err := backend.CheckIntegrity(loaded.Store); err != nil {
 		t.Fatal(err)
 	}
 	// The loaded database keeps working under more churn.

@@ -5,8 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -56,8 +56,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Placement identical.
 	for i := 1; i <= p.NO; i++ {
-		pa, _ := orig.Store.PageOf(store.OID(i))
-		pb, _ := loaded.Store.PageOf(store.OID(i))
+		pa, _ := orig.Store.(backend.Placer).PageOf(backend.OID(i))
+		pb, _ := loaded.Store.(backend.Placer).PageOf(backend.OID(i))
 		if pa != pb {
 			t.Fatalf("object %d placed on %d, was %d", i, pb, pa)
 		}
@@ -134,8 +134,8 @@ func TestLoadAfterRelocation(t *testing.T) {
 	p.NO = 200
 	p.SupRef = 200
 	db := MustGenerate(p)
-	cluster := []store.OID{5, 100, 150}
-	if _, err := db.Store.Relocate([][]store.OID{cluster}); err != nil {
+	cluster := []backend.OID{5, 100, 150}
+	if _, err := db.Store.(backend.Relocator).Relocate([][]backend.OID{cluster}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -146,9 +146,9 @@ func TestLoadAfterRelocation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p0, _ := loaded.Store.PageOf(5)
-	p1, _ := loaded.Store.PageOf(100)
-	p2, _ := loaded.Store.PageOf(150)
+	p0, _ := loaded.Store.(backend.Placer).PageOf(5)
+	p1, _ := loaded.Store.(backend.Placer).PageOf(100)
+	p2, _ := loaded.Store.(backend.Placer).PageOf(150)
 	if p0 != p1 || p1 != p2 {
 		t.Fatal("relocated placement lost on save/load")
 	}

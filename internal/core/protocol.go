@@ -5,11 +5,11 @@ import (
 	"sync"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/disk"
 	"ocb/internal/lewis"
 	"ocb/internal/stats"
-	"ocb/internal/store"
 )
 
 // TypeMetrics aggregates the per-transaction-type measurements OCB
@@ -94,7 +94,7 @@ func (m *PhaseMetrics) merge(o *PhaseMetrics) {
 type Result struct {
 	Cold, Warm *PhaseMetrics
 	PolicyName string
-	Store      store.Stats
+	Store      backend.Stats
 }
 
 // Runner executes the OCB protocol of §3.3 against a database: each of
@@ -235,7 +235,7 @@ func SampleTransaction(p Params, src *lewis.Source) Transaction {
 	default:
 		tx.Type = RangeOp
 	}
-	tx.Root = store.OID(p.Dist5.Draw(src, 1, p.NO, 0))
+	tx.Root = backend.OID(p.Dist5.Draw(src, 1, p.NO, 0))
 	if p.PReverse > 0 && src.Bernoulli(p.PReverse) {
 		tx.Reverse = true
 	}
@@ -245,9 +245,15 @@ func SampleTransaction(p Params, src *lewis.Source) Transaction {
 // Reorganize triggers the policy's physical reorganization (phase 5 runs
 // "when the system is idle"; the protocol calls it between measurement
 // phases) and returns its cost.
-func (r *Runner) Reorganize() (store.RelocStats, error) {
+func (r *Runner) Reorganize() (backend.RelocStats, error) {
 	if r.Policy == nil {
-		return store.RelocStats{}, nil
+		return backend.RelocStats{}, nil
 	}
+	// Everything phase 5 does is clustering overhead, so classify its I/O
+	// for the duration on backends that expose the hook. The paged driver
+	// additionally classifies inside Relocate itself; this covers drivers
+	// that do not self-classify.
+	backend.SetIOClass(r.DB.Store, disk.Clustering)
+	defer backend.SetIOClass(r.DB.Store, disk.Transaction)
 	return r.Policy.Reorganize(r.DB.Store)
 }

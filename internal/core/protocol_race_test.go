@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"time"
+
+	"ocb/internal/backend"
 )
 
 // These tests exercise the multi-client protocol under the race detector
@@ -153,7 +155,7 @@ func TestRunPhaseConcurrentGenericWorkload(t *testing.T) {
 	if err := CheckDatabase(db); err != nil {
 		t.Fatalf("database inconsistent after concurrent mutating phase: %v", err)
 	}
-	if err := db.Store.CheckIntegrity(); err != nil {
+	if err := backend.CheckIntegrity(db.Store); err != nil {
 		t.Fatalf("store inconsistent after concurrent mutating phase: %v", err)
 	}
 }

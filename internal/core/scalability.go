@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"ocb/internal/backend"
 )
 
 // DefaultScalabilityClients is the client sweep of the scalability
@@ -108,8 +110,17 @@ func RunScalability(db *Database, o ScalabilityOptions) (*ScalabilityResult, err
 			shards *= 2
 		}
 	}
-	if err := db.Store.Reshard(shards); err != nil {
-		return nil, err
+	// Resharding is a backend capability: backends whose concurrency does
+	// not come from lock sharding (flatmem) run the sweep as they are.
+	if rel, ok := db.Store.(backend.Resharder); ok {
+		if err := rel.Reshard(shards); err != nil {
+			return nil, err
+		}
+		// Report the degree actually in effect — the store may round the
+		// request (to a power of two), and the table note cites it.
+		shards = rel.Shards()
+	} else {
+		shards = 1
 	}
 
 	// Restore the database's own protocol parameters afterwards; the sweep
@@ -119,7 +130,7 @@ func RunScalability(db *Database, o ScalabilityOptions) (*ScalabilityResult, err
 	db.P.Think = o.Think
 	db.P.OpenLoop = o.OpenLoop
 
-	res := &ScalabilityResult{Shards: db.Store.Shards()}
+	res := &ScalabilityResult{Shards: shards}
 	for _, c := range clients {
 		db.P.ClientN = c
 		if !o.KeepCache {

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
+	"ocb/internal/backend"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // RefSlotBytes is the on-disk size of one reference slot (a 64-bit
@@ -34,7 +34,7 @@ type Class struct {
 	CRef []int
 	// Iterator lists every instance of the class, in creation order
 	// (the Iterator of the CLASS metaclass in Fig. 1).
-	Iterator []store.OID
+	Iterator []backend.OID
 }
 
 // DiskSize returns the on-disk footprint of one instance: the Filler

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // TxType enumerates OCB's transaction classes (Fig. 3).
@@ -64,7 +64,7 @@ func (t TxType) String() string {
 // backward references).
 type Transaction struct {
 	Type TxType
-	Root store.OID
+	Root backend.OID
 	// Depth bounds the exploration: hops from the root for the traversals,
 	// steps for the stochastic walk.
 	Depth int
@@ -102,9 +102,9 @@ type Executor struct {
 	seen seenSet
 	// frontier/next are the BFS level buffers, swapped each level;
 	// nextFrom records each discovery's parent for policy observation.
-	frontier []store.OID
-	next     []store.OID
-	nextFrom []store.OID
+	frontier []backend.OID
+	next     []backend.OID
+	nextFrom []backend.OID
 }
 
 // seenSet is a resettable membership set over OIDs. Membership is a
@@ -132,7 +132,7 @@ func (s *seenSet) reset(n int) {
 }
 
 // add inserts oid, reporting whether it was newly added.
-func (s *seenSet) add(oid store.OID) bool {
+func (s *seenSet) add(oid backend.OID) bool {
 	if s.stamp[oid] == s.gen {
 		return false
 	}
@@ -179,7 +179,7 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 	// sampled root; an in-range but deleted root resolves onto the live
 	// object set. Out-of-range roots remain errors.
 	if tx.Type != InsertOp && tx.Type != ScanOp {
-		if tx.Root == store.NilOID || int(tx.Root) >= len(e.DB.Objects) {
+		if tx.Root == backend.NilOID || int(tx.Root) >= len(e.DB.Objects) {
 			return TxResult{}, fmt.Errorf("ocb: bad root %d", tx.Root)
 		}
 		if e.DB.Objects[tx.Root] == nil {
@@ -232,12 +232,12 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 
 // visit faults the object and notifies the policy of the crossing from
 // src (NilOID for roots).
-func (e *Executor) visit(from, to store.OID) error {
+func (e *Executor) visit(from, to backend.OID) error {
 	if err := e.DB.Store.Access(to); err != nil {
 		return err
 	}
 	if e.Policy != nil {
-		if from == store.NilOID {
+		if from == backend.NilOID {
 			e.Policy.ObserveRoot(to)
 		} else {
 			e.Policy.ObserveLink(from, to)
@@ -248,7 +248,7 @@ func (e *Executor) visit(from, to store.OID) error {
 
 // discover marks a successor as seen and queues it for the level's batched
 // access, remembering the parent link for policy observation.
-func (e *Executor) discover(from, to store.OID) {
+func (e *Executor) discover(from, to backend.OID) {
 	if !e.seen.add(to) {
 		return
 	}
@@ -263,13 +263,13 @@ func (e *Executor) discover(from, to store.OID) {
 // faults land in exactly the discovery order sequential Access calls would
 // have used, so single-client measurements are unchanged — and the frontier
 // buffers and seen-set are the executor's reusable scratch.
-func (e *Executor) setAccess(root store.OID, depth int, reverse bool) (int, error) {
+func (e *Executor) setAccess(root backend.OID, depth int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
 	}
 	e.seen.reset(len(e.DB.Objects))
 	e.seen.add(root)
-	if err := e.visit(store.NilOID, root); err != nil {
+	if err := e.visit(backend.NilOID, root); err != nil {
 		return 0, err
 	}
 	accessed := 1
@@ -285,7 +285,7 @@ func (e *Executor) setAccess(root store.OID, depth int, reverse bool) (int, erro
 				}
 			} else {
 				for _, succ := range obj.ORef {
-					if succ != store.NilOID {
+					if succ != backend.NilOID {
 						e.discover(oid, succ)
 					}
 				}
@@ -308,11 +308,11 @@ func (e *Executor) setAccess(root store.OID, depth int, reverse bool) (int, erro
 
 // simple is the simple traversal: depth-first on all the references up to
 // depth hops, duplicates allowed (as in OO1's part tree exploration).
-func (e *Executor) simple(root store.OID, depth int, reverse bool) (int, error) {
+func (e *Executor) simple(root backend.OID, depth int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
 	}
-	if err := e.visit(store.NilOID, root); err != nil {
+	if err := e.visit(backend.NilOID, root); err != nil {
 		return 0, err
 	}
 	n, err := e.simpleDFS(root, depth, reverse)
@@ -322,7 +322,7 @@ func (e *Executor) simple(root store.OID, depth int, reverse bool) (int, error) 
 // simpleDFS walks all references of oid depth-first for remaining more
 // hops, iterating reference slots in place (no successor slice is
 // materialized) and returning how many objects it accessed.
-func (e *Executor) simpleDFS(oid store.OID, remaining int, reverse bool) (int, error) {
+func (e *Executor) simpleDFS(oid backend.OID, remaining int, reverse bool) (int, error) {
 	if remaining == 0 {
 		return 0, nil
 	}
@@ -343,7 +343,7 @@ func (e *Executor) simpleDFS(oid store.OID, remaining int, reverse bool) (int, e
 		return n, nil
 	}
 	for _, succ := range obj.ORef {
-		if succ == store.NilOID {
+		if succ == backend.NilOID {
 			continue
 		}
 		if err := e.visit(oid, succ); err != nil {
@@ -361,11 +361,11 @@ func (e *Executor) simpleDFS(oid store.OID, remaining int, reverse bool) (int, e
 
 // hierarchy is the hierarchy traversal: depth-first always following the
 // same type of reference.
-func (e *Executor) hierarchy(root store.OID, depth, refType int, reverse bool) (int, error) {
+func (e *Executor) hierarchy(root backend.OID, depth, refType int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
 	}
-	if err := e.visit(store.NilOID, root); err != nil {
+	if err := e.visit(backend.NilOID, root); err != nil {
 		return 0, err
 	}
 	n, err := e.hierarchyDFS(root, depth, refType, reverse)
@@ -377,7 +377,7 @@ func (e *Executor) hierarchy(root store.OID, depth, refType int, reverse bool) (
 // entries whose owning object points back at oid through a reference of
 // that type. The type filter is applied in place while iterating, so no
 // successor slice is materialized.
-func (e *Executor) hierarchyDFS(oid store.OID, remaining, refType int, reverse bool) (int, error) {
+func (e *Executor) hierarchyDFS(oid backend.OID, remaining, refType int, reverse bool) (int, error) {
 	if remaining == 0 {
 		return 0, nil
 	}
@@ -411,7 +411,7 @@ func (e *Executor) hierarchyDFS(oid store.OID, remaining, refType int, reverse b
 	}
 	class := e.DB.Schema.Class(obj.Class)
 	for k, succ := range obj.ORef {
-		if succ == store.NilOID || class.TRef[k] != refType {
+		if succ == backend.NilOID || class.TRef[k] != refType {
 			continue
 		}
 		if err := e.visit(oid, succ); err != nil {
@@ -433,11 +433,11 @@ func (e *Executor) hierarchyDFS(oid store.OID, remaining, refType int, reverse b
 // (Tsangaris & Naughton). The geometric draw is folded modulo the number
 // of available references so that every step makes progress; the walk
 // stops early at objects without references.
-func (e *Executor) stochastic(root store.OID, depth int, reverse bool) (int, error) {
+func (e *Executor) stochastic(root backend.OID, depth int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
 	}
-	if err := e.visit(store.NilOID, root); err != nil {
+	if err := e.visit(backend.NilOID, root); err != nil {
 		return 0, err
 	}
 	accessed := 1
@@ -450,7 +450,7 @@ func (e *Executor) stochastic(root store.OID, depth int, reverse bool) (int, err
 		if !reverse {
 			count = 0
 			for _, r := range obj.ORef {
-				if r != store.NilOID {
+				if r != backend.NilOID {
 					count++
 				}
 			}
@@ -464,13 +464,13 @@ func (e *Executor) stochastic(root store.OID, depth int, reverse bool) (int, err
 			n++
 		}
 		k := (n - 1) % count
-		var next store.OID
+		var next backend.OID
 		if reverse {
 			next = obj.BackRef[k]
 		} else {
 			// k-th non-NIL forward slot, in slot order.
 			for _, r := range obj.ORef {
-				if r == store.NilOID {
+				if r == backend.NilOID {
 					continue
 				}
 				if k == 0 {
@@ -492,7 +492,7 @@ func (e *Executor) stochastic(root store.OID, depth int, reverse bool) (int, err
 // update modifies one object in place and commits — the update operation
 // the clustering-oriented workload excludes (§3.3) and the generic
 // extension (§5) restores.
-func (e *Executor) update(root store.OID) (int, error) {
+func (e *Executor) update(root backend.OID) (int, error) {
 	if err := e.DB.Store.Update(root); err != nil {
 		return 0, err
 	}
@@ -515,7 +515,7 @@ func (e *Executor) insert() (int, error) {
 	// maintenance.
 	n := 1
 	for _, r := range obj.ORef {
-		if r != store.NilOID {
+		if r != backend.NilOID {
 			n++
 		}
 	}
@@ -523,7 +523,7 @@ func (e *Executor) insert() (int, error) {
 }
 
 // delete removes the root object, repairing the graph, and commits.
-func (e *Executor) delete(root store.OID) (int, error) {
+func (e *Executor) delete(root backend.OID) (int, error) {
 	obj := e.DB.Object(root)
 	touched := 1 + len(obj.BackRef)
 	if e.Policy != nil {
@@ -567,14 +567,14 @@ func (e *Executor) scan() (int, error) {
 // rangeLookup visits the live objects whose OID falls within a 1%-of-NO
 // window starting at the root — HyperModel's Range Lookup analogue over
 // the object identifier attribute.
-func (e *Executor) rangeLookup(root store.OID) (int, error) {
+func (e *Executor) rangeLookup(root backend.OID) (int, error) {
 	width := e.DB.P.NO / 100
 	if width < 1 {
 		width = 1
 	}
 	n := 0
 	for i := 0; i < width; i++ {
-		oid := root + store.OID(i)
+		oid := root + backend.OID(i)
 		if e.DB.Object(oid) == nil {
 			continue
 		}

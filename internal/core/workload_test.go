@@ -3,9 +3,9 @@ package core
 import (
 	"testing"
 
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // chainParams builds a degenerate database whose fan-out is exactly
@@ -124,7 +124,7 @@ func TestStochasticPrefersFirstReference(t *testing.T) {
 	rec := &recordingPolicy{}
 	ex := NewExecutor(db, rec, lewis.New(11))
 	for root := 1; root <= 100; root++ {
-		if _, err := ex.Exec(Transaction{Type: StochasticTraversal, Root: store.OID(root), Depth: 20}); err != nil {
+		if _, err := ex.Exec(Transaction{Type: StochasticTraversal, Root: backend.OID(root), Depth: 20}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -149,14 +149,14 @@ func TestReverseTraversalUsesBackRefs(t *testing.T) {
 	db := MustGenerate(p)
 	// Find an object with backrefs but give it no forward refs by picking
 	// any object and comparing forward vs reverse from the same root.
-	var root store.OID
+	var root backend.OID
 	for i := 1; i <= p.NO; i++ {
 		if len(db.Objects[i].BackRef) > 0 {
-			root = store.OID(i)
+			root = backend.OID(i)
 			break
 		}
 	}
-	if root == store.NilOID {
+	if root == backend.NilOID {
 		t.Fatal("no object with backrefs")
 	}
 	rec := &recordingPolicy{}
@@ -198,7 +198,7 @@ func TestReverseHierarchyTypeFilter(t *testing.T) {
 	class := db.Schema.Class(obj.Class)
 	wantFwd := 1
 	for k, tr := range class.TRef {
-		if tr == 2 && obj.ORef[k] != store.NilOID {
+		if tr == 2 && obj.ORef[k] != backend.NilOID {
 			wantFwd++
 		}
 	}
@@ -298,19 +298,19 @@ func TestTxTypeString(t *testing.T) {
 
 // recordingPolicy captures observation callbacks for assertions.
 type recordingPolicy struct {
-	crossings []struct{ src, dst store.OID }
-	roots     []store.OID
+	crossings []struct{ src, dst backend.OID }
+	roots     []backend.OID
 	endTx     int
 }
 
 func (r *recordingPolicy) Name() string { return "recording" }
-func (r *recordingPolicy) ObserveLink(src, dst store.OID) {
-	r.crossings = append(r.crossings, struct{ src, dst store.OID }{src, dst})
+func (r *recordingPolicy) ObserveLink(src, dst backend.OID) {
+	r.crossings = append(r.crossings, struct{ src, dst backend.OID }{src, dst})
 }
-func (r *recordingPolicy) ObserveRoot(root store.OID) { r.roots = append(r.roots, root) }
-func (r *recordingPolicy) EndTransaction()            { r.endTx++ }
-func (r *recordingPolicy) Reorganize(*store.Store) (store.RelocStats, error) {
-	return store.RelocStats{}, nil
+func (r *recordingPolicy) ObserveRoot(root backend.OID) { r.roots = append(r.roots, root) }
+func (r *recordingPolicy) EndTransaction()              { r.endTx++ }
+func (r *recordingPolicy) Reorganize(backend.Backend) (backend.RelocStats, error) {
+	return backend.RelocStats{}, nil
 }
 func (r *recordingPolicy) Reset() { *r = recordingPolicy{} }
 

@@ -26,7 +26,7 @@ package dstc
 import (
 	"sort"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 // Params are DSTC's tunables. Zero values select defaults.
@@ -83,10 +83,10 @@ type Stats struct {
 	UnitsBuilt       int    // units built by the last reorganization
 	ObjectsInUnits   int    // objects covered by the last reorganization
 	Reorganizations  uint64 // Reorganize calls that applied a layout
-	LastRelocation   store.RelocStats
+	LastRelocation   backend.RelocStats
 }
 
-type pair struct{ src, dst store.OID }
+type pair struct{ src, dst backend.OID }
 
 // DSTC is the clustering policy. It implements cluster.Policy.
 // It is not safe for concurrent use; the benchmark runner serializes
@@ -123,8 +123,8 @@ func (d *DSTC) Stats() Stats {
 }
 
 // ObserveLink implements cluster.Policy — Observation phase (1).
-func (d *DSTC) ObserveLink(src, dst store.OID) {
-	if src == store.NilOID || dst == store.NilOID || src == dst {
+func (d *DSTC) ObserveLink(src, dst backend.OID) {
+	if src == backend.NilOID || dst == backend.NilOID || src == dst {
 		return
 	}
 	d.observation[pair{src, dst}]++
@@ -133,7 +133,7 @@ func (d *DSTC) ObserveLink(src, dst store.OID) {
 
 // ObserveRoot implements cluster.Policy. DSTC derives its statistics from
 // link crossings only, so roots are not recorded.
-func (d *DSTC) ObserveRoot(store.OID) {}
+func (d *DSTC) ObserveRoot(backend.OID) {}
 
 // EndTransaction implements cluster.Policy. Completing an observation
 // period triggers Selection (2) and Consolidation (3).
@@ -195,8 +195,8 @@ func (d *DSTC) Reset() {
 
 // unit is a Clustering Unit under construction.
 type unit struct {
-	members []store.OID
-	in      map[store.OID]bool
+	members []backend.OID
+	in      map[backend.OID]bool
 	bytes   int
 	weight  float64
 	dead    bool
@@ -204,23 +204,30 @@ type unit struct {
 
 // Reorganize implements cluster.Policy — phases 4 and 5. Any partial
 // observation period is first flushed through Selection/Consolidation.
-func (d *DSTC) Reorganize(st *store.Store) (store.RelocStats, error) {
+// On a backend without physical relocation the gathered statistics are
+// kept (observation is still meaningful) but the reorganization reports
+// backend.ErrNotSupported.
+func (d *DSTC) Reorganize(st backend.Backend) (backend.RelocStats, error) {
+	rel, err := backend.AsRelocator(st)
+	if err != nil {
+		return backend.RelocStats{}, err
+	}
 	if d.txInPeriod > 0 {
 		d.endPeriod()
 	}
 	units := d.buildUnits(st)
 	d.stats.UnitsBuilt = len(units)
 	objects := 0
-	layout := make([][]store.OID, 0, len(units))
+	layout := make([][]backend.OID, 0, len(units))
 	for _, u := range units {
 		objects += len(u.members)
 		layout = append(layout, u.members)
 	}
 	d.stats.ObjectsInUnits = objects
 	if len(layout) == 0 {
-		return store.RelocStats{}, nil
+		return backend.RelocStats{}, nil
 	}
-	rs, err := st.Relocate(layout)
+	rs, err := rel.Relocate(layout)
 	if err != nil {
 		return rs, err
 	}
@@ -231,10 +238,10 @@ func (d *DSTC) Reorganize(st *store.Store) (store.RelocStats, error) {
 
 // buildUnits runs the Dynamic Cluster Reorganization phase: heaviest
 // consolidated links first, objects agglomerate into byte-bounded units.
-func (d *DSTC) buildUnits(st *store.Store) []*unit {
+func (d *DSTC) buildUnits(st backend.Backend) []*unit {
 	maxBytes := d.params.MaxUnitBytes
 	if maxBytes <= 0 {
-		maxBytes = st.PageSize()
+		maxBytes = backend.PageSizeOf(st)
 	}
 
 	type wlink struct {
@@ -257,7 +264,7 @@ func (d *DSTC) buildUnits(st *store.Store) []*unit {
 		return links[i].p.dst < links[j].p.dst
 	})
 
-	sizeOf := func(oid store.OID) int {
+	sizeOf := func(oid backend.OID) int {
 		sz, ok := st.SizeOf(oid)
 		if !ok {
 			return -1
@@ -265,14 +272,14 @@ func (d *DSTC) buildUnits(st *store.Store) []*unit {
 		return sz
 	}
 
-	unitOf := make(map[store.OID]*unit)
+	unitOf := make(map[backend.OID]*unit)
 	var units []*unit
 	newUnit := func() *unit {
-		u := &unit{in: make(map[store.OID]bool)}
+		u := &unit{in: make(map[backend.OID]bool)}
 		units = append(units, u)
 		return u
 	}
-	addTo := func(u *unit, oid store.OID, size int) {
+	addTo := func(u *unit, oid backend.OID, size int) {
 		u.members = append(u.members, oid)
 		u.in[oid] = true
 		u.bytes += size
@@ -342,6 +349,6 @@ func (d *DSTC) buildUnits(st *store.Store) []*unit {
 
 // ConsolidatedWeight returns the current consolidated weight of the link
 // src->dst (0 if absent). Exposed for tests and diagnostics.
-func (d *DSTC) ConsolidatedWeight(src, dst store.OID) float64 {
+func (d *DSTC) ConsolidatedWeight(src, dst backend.OID) float64 {
 	return d.consolidated[pair{src, dst}]
 }

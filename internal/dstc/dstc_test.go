@@ -3,27 +3,13 @@ package dstc
 import (
 	"testing"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
+	"ocb/internal/backend/backendtest"
 )
 
-func newStore(t *testing.T, n, size int) (*store.Store, []store.OID) {
+func newStore(t *testing.T, n, size int) (backendtest.PlacedBackend, []backend.OID) {
 	t.Helper()
-	s, err := store.Open(store.Config{PageSize: 256, BufferPages: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	oids := make([]store.OID, n)
-	for i := range oids {
-		oid, err := s.Create(size)
-		if err != nil {
-			t.Fatal(err)
-		}
-		oids[i] = oid
-	}
-	if err := s.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	return s, oids
+	return backendtest.BuildPaged(t, n, size)
 }
 
 func TestDefaults(t *testing.T) {
@@ -39,8 +25,8 @@ func TestDefaults(t *testing.T) {
 
 func TestObserveLinkIgnoresDegenerate(t *testing.T) {
 	d := New(Params{})
-	d.ObserveLink(store.NilOID, 2)
-	d.ObserveLink(2, store.NilOID)
+	d.ObserveLink(backend.NilOID, 2)
+	d.ObserveLink(2, backend.NilOID)
 	d.ObserveLink(3, 3)
 	if d.Stats().LinksObserved != 0 {
 		t.Fatalf("degenerate links observed: %d", d.Stats().LinksObserved)
@@ -284,7 +270,7 @@ func TestReset(t *testing.T) {
 // observes the traversals and reorganizes.
 func TestImprovesChainLocality(t *testing.T) {
 	s, oids := newStore(t, 60, 50)
-	chain := []store.OID{oids[0], oids[12], oids[25], oids[38], oids[51]}
+	chain := []backend.OID{oids[0], oids[12], oids[25], oids[38], oids[51]}
 	distinctPages := func() int {
 		pages := make(map[uint32]bool)
 		for _, oid := range chain {

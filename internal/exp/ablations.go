@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/core"
 	"ocb/internal/dstc"
@@ -11,7 +12,6 @@ import (
 	"ocb/internal/oo1"
 	"ocb/internal/oo7"
 	"ocb/internal/report"
-	"ocb/internal/store"
 )
 
 // Policies reproduces ablation A1: every clustering policy on the same
@@ -72,12 +72,17 @@ func BufferSweep(c Config) (*report.Table, error) {
 	}
 	t := report.New("A2 — buffer size sweep (no clustering)",
 		"Buffer pages", "Mean I/Os per tx", "Hit ratio", "DB pages")
-	for _, b := range buffers {
+	for i, b := range buffers {
 		p := c.mimicParams()
 		p.BufferPages = b
 		db, err := core.Generate(p)
 		if err != nil {
 			return nil, fmt.Errorf("buffer sweep %d: %w", b, err)
+		}
+		if i == 0 && db.Store.Stats().Pages == 0 {
+			// A backend without a page cache ignores the frame budget;
+			// every row would measure the same nothing.
+			return nil, fmt.Errorf("%w: buffer-pool sizing (backend has no page cache)", backend.ErrNotSupported)
 		}
 		db.Store.DropCache()
 		r := core.NewRunner(db, nil)
@@ -284,6 +289,8 @@ func GenericWorkload(c Config) (*report.Table, error) {
 	p.NO = 8000
 	p.SupRef = 8000
 	p.BufferPages = 176
+	p.Backend = c.Backend
+	p.BackendOptions = c.BackendOptions
 	n := 600
 	if c.Quick {
 		p.NO = 2000
@@ -329,6 +336,8 @@ func OO1Suite(c Config) (*report.Table, error) {
 		p.NRuns = 3
 		p.BufferPages = 64
 	}
+	p.Backend = c.Backend
+	p.BackendOptions = c.BackendOptions
 	db, err := oo1.Generate(p)
 	if err != nil {
 		return nil, err
@@ -356,6 +365,8 @@ func HyperModelSuite(c Config) (*report.Table, error) {
 		p.Inputs = 10
 		p.BufferPages = 32
 	}
+	p.Backend = c.Backend
+	p.BackendOptions = c.BackendOptions
 	db, err := hypermodel.Generate(p)
 	if err != nil {
 		return nil, err
@@ -384,6 +395,8 @@ func OO7Suite(c Config) (*report.Table, error) {
 		p.AssmLevels = 4
 		p.BufferPages = 64
 	}
+	p.Backend = c.Backend
+	p.BackendOptions = c.BackendOptions
 	db, err := oo7.Generate(p)
 	if err != nil {
 		return nil, err
@@ -423,22 +436,13 @@ func GenericityCheck(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Pick a root of class 1 so all MAXNREF=3 references are live.
-	var root store.OID
-	for i := 1; i <= p.NO; i++ {
-		if cl, _ := db.ClassOf(store.OID(i)); cl == 1 {
-			root = store.OID(i)
-			break
-		}
-	}
-	ex := core.NewExecutor(db, nil, nil)
-	res, err := ex.Exec(core.Transaction{Type: core.SimpleTraversal, Root: root, Depth: 7})
+	visited, err := oo1Signature(p, db)
 	if err != nil {
 		return nil, err
 	}
 	t := report.New("Genericity — OO1's traversal shape from OCB's Table 3 parameters",
 		"Traversal", "Objects visited", "OO1 reference value")
-	t.AddRow("simple traversal, depth 7, fan-out 3", report.Int(res.ObjectsAccessed), "3280")
+	t.AddRow("simple traversal, depth 7, fan-out 3", report.Int(visited), "3280")
 	return t, nil
 }
 

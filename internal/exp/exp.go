@@ -12,19 +12,35 @@
 package exp
 
 import (
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/core"
 	"ocb/internal/dstc"
 	"ocb/internal/oo1"
-	"ocb/internal/store"
 )
 
-// Config selects the experiment scale.
+// Config selects the experiment scale and the system under test.
 type Config struct {
 	// Quick shrinks every experiment to seconds for tests and benches.
 	Quick bool
 	// Seed offsets all experiment seeds (0 keeps the defaults).
 	Seed int64
+	// Backend selects the system-under-test driver ("" = "paged").
+	// Experiments needing a capability the backend lacks (physical
+	// relocation, mostly) fail with backend.ErrNotSupported, which
+	// cmd/ocb-experiments reports as a skip.
+	Backend string
+	// BackendOptions are driver-specific key=value settings, validated by
+	// the driver at open.
+	BackendOptions map[string]string
+}
+
+// backendName returns the effective driver name ("" opens the default).
+func (c Config) backendName() string {
+	if c.Backend == "" {
+		return backend.DefaultName
+	}
+	return c.Backend
 }
 
 // clubOO1Params returns the OO1 geometry behind the Table 4 CluB row.
@@ -38,6 +54,8 @@ func (c Config) clubOO1Params() oo1.Params {
 		p.BufferPages = 64
 	}
 	p.Seed += c.Seed
+	p.Backend = c.Backend
+	p.BackendOptions = c.BackendOptions
 	return p
 }
 
@@ -53,6 +71,8 @@ func (c Config) mimicParams() core.Params {
 		p.BufferPages = 52
 	}
 	p.Seed += c.Seed
+	p.Backend = c.Backend
+	p.BackendOptions = c.BackendOptions
 	return p
 }
 
@@ -75,7 +95,7 @@ func clubDSTC() *dstc.DSTC {
 type heldOutResult struct {
 	Before, After float64
 	Gain          float64
-	Reloc         store.RelocStats
+	Reloc         backend.RelocStats
 	ClusteringIOs uint64
 }
 
@@ -96,11 +116,9 @@ func heldOut(db *core.Database, policy cluster.Policy, obsN, measN, reps int, se
 		}
 	}
 	clBefore := db.Store.Stats().Disk.ClusteringIOs()
-	if policy != nil {
-		res.Reloc, err = policy.Reorganize(db.Store)
-		if err != nil {
-			return res, err
-		}
+	res.Reloc, err = observe.Reorganize()
+	if err != nil {
+		return res, err
 	}
 	res.ClusteringIOs = db.Store.Stats().Disk.ClusteringIOs() - clBefore
 	db.Store.DropCache()
@@ -135,13 +153,11 @@ func replay(db *core.Database, policy cluster.Policy, n, reps int, seed int64) (
 		}
 	}
 	clBefore := db.Store.Stats().Disk.ClusteringIOs()
-	var err error
-	if policy != nil {
-		res.Reloc, err = policy.Reorganize(db.Store)
-		if err != nil {
-			return res, err
-		}
+	reloc, err := observe.Reorganize()
+	if err != nil {
+		return res, err
 	}
+	res.Reloc = reloc
 	res.ClusteringIOs = db.Store.Stats().Disk.ClusteringIOs() - clBefore
 	db.Store.DropCache()
 	m, err := measure.RunPhase("after", n, seed)

@@ -105,6 +105,8 @@ func Fig4(c Config) (*report.Table, error) {
 				p.NO = no
 				p.SupRef = no
 				p.Seed = p.Seed + c.Seed + int64(r)
+				p.Backend = c.Backend
+				p.BackendOptions = c.BackendOptions
 				db, err := core.Generate(p)
 				if err != nil {
 					return nil, fmt.Errorf("fig4 NC=%d NO=%d: %w", nc, no, err)

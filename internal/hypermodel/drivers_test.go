@@ -1,0 +1,5 @@
+package hypermodel
+
+// The test binary opens backends by name; link the driver bundle, as the
+// commands do.
+import _ "ocb/internal/backend/all"

@@ -25,10 +25,10 @@ import (
 	"sort"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // Params sizes the HyperModel database.
@@ -51,10 +51,15 @@ type Params struct {
 	// Default 1000000.
 	MillionRange int
 
-	PageSize    int
-	BufferPages int
-	Policy      buffer.Policy
-	Seed        int64
+	// Backend selects the system-under-test driver ("" = "paged");
+	// BackendOptions are driver-specific settings. The geometry fields
+	// apply to paged backends and are ignored by others.
+	Backend        string
+	BackendOptions map[string]string
+	PageSize       int
+	BufferPages    int
+	Policy         buffer.Policy
+	Seed           int64
 }
 
 // DefaultParams returns the canonical HyperModel configuration.
@@ -91,25 +96,25 @@ func (p Params) Validate() error {
 
 // Node is one hypertext node.
 type Node struct {
-	OID   store.OID
+	OID   backend.OID
 	ID    int // uniqueId attribute; dense 1..N
 	Level int
 	// Hundred is the hundred attribute (ID % 100); Million is a random
 	// attribute in [0, MillionRange).
 	Hundred, Million int
 
-	Parent   store.OID // aggregation, inverse of Children
-	Children []store.OID
-	Parts    []store.OID // partOf M-N, forward
-	PartOf   []store.OID // partOf M-N, inverse
-	RefTo    store.OID   // 1-1 association
-	RefFrom  []store.OID // inverse of RefTo
+	Parent   backend.OID // aggregation, inverse of Children
+	Children []backend.OID
+	Parts    []backend.OID // partOf M-N, forward
+	PartOf   []backend.OID // partOf M-N, inverse
+	RefTo    backend.OID   // 1-1 association
+	RefFrom  []backend.OID // inverse of RefTo
 }
 
 // Database is a generated HyperModel object base.
 type Database struct {
 	P     Params
-	Store *store.Store
+	Store backend.Backend
 	// Nodes is indexed by uniqueId (1-based).
 	Nodes []*Node
 	// Levels[k] lists the node ids of aggregation level k.
@@ -128,10 +133,11 @@ func Generate(p Params) (*Database, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	st, err := store.Open(store.Config{
+	st, err := backend.Open(p.Backend, backend.Config{
 		PageSize:    p.PageSize,
 		BufferPages: p.BufferPages,
 		Policy:      p.Policy,
+		Options:     p.BackendOptions,
 	})
 	if err != nil {
 		return nil, err
@@ -231,7 +237,7 @@ func (db *Database) newNode(level int) (*Node, error) {
 func (db *Database) NumNodes() int { return len(db.Nodes) - 1 }
 
 // node returns the node owning an OID (linear id mapping: OIDs are dense).
-func (db *Database) node(oid store.OID) *Node { return db.Nodes[int(oid)] }
+func (db *Database) node(oid backend.OID) *Node { return db.Nodes[int(oid)] }
 
 // OpName enumerates the benchmark's operations.
 type OpName string
@@ -356,13 +362,13 @@ func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int,
 	case NameLookup, NameOIDLookup:
 		// Retrieve one randomly selected node (by uniqueId / by OID —
 		// both a single store access here).
-		return 1, false, db.access(store.NilOID, node.OID, policy)
+		return 1, false, db.access(backend.NilOID, node.OID, policy)
 
 	case RangeLookupHundred:
 		// Retrieve nodes with hundred = value (N/100 nodes via index).
 		n := 0
 		for _, id := range db.byHundred[input%100] {
-			if err := db.access(store.NilOID, db.Nodes[id].OID, policy); err != nil {
+			if err := db.access(backend.NilOID, db.Nodes[id].OID, policy); err != nil {
 				return n, false, err
 			}
 			n++
@@ -382,7 +388,7 @@ func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int,
 			if nd.Million >= hi {
 				break
 			}
-			if err := db.access(store.NilOID, nd.OID, policy); err != nil {
+			if err := db.access(backend.NilOID, nd.OID, policy); err != nil {
 				return n, false, err
 			}
 			n++
@@ -394,13 +400,13 @@ func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int,
 	case GroupLookupParts:
 		return db.group(node, node.Parts, policy)
 	case GroupLookupRefTo:
-		return db.group(node, []store.OID{node.RefTo}, policy)
+		return db.group(node, []backend.OID{node.RefTo}, policy)
 
 	case RefLookupParent:
-		if node.Parent == store.NilOID {
+		if node.Parent == backend.NilOID {
 			return 0, false, nil
 		}
-		return db.group(node, []store.OID{node.Parent}, policy)
+		return db.group(node, []backend.OID{node.Parent}, policy)
 	case RefLookupPartOf:
 		return db.group(node, node.PartOf, policy)
 	case RefLookupRefFrom:
@@ -409,7 +415,7 @@ func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int,
 	case SeqScan:
 		n := 0
 		for id := 1; id <= db.NumNodes(); id++ {
-			if err := db.access(store.NilOID, db.Nodes[id].OID, policy); err != nil {
+			if err := db.access(backend.NilOID, db.Nodes[id].OID, policy); err != nil {
 				return n, false, err
 			}
 			n++
@@ -471,13 +477,13 @@ const (
 )
 
 // group accesses the root then each related node (one-level lookup).
-func (db *Database) group(root *Node, related []store.OID, policy cluster.Policy) (int, bool, error) {
-	if err := db.access(store.NilOID, root.OID, policy); err != nil {
+func (db *Database) group(root *Node, related []backend.OID, policy cluster.Policy) (int, bool, error) {
+	if err := db.access(backend.NilOID, root.OID, policy); err != nil {
 		return 0, false, err
 	}
 	n := 1
 	for _, oid := range related {
-		if oid == store.NilOID {
+		if oid == backend.NilOID {
 			continue
 		}
 		if err := db.access(root.OID, oid, policy); err != nil {
@@ -490,7 +496,7 @@ func (db *Database) group(root *Node, related []store.OID, policy cluster.Policy
 
 // closure traverses a relationship transitively up to depth.
 func (db *Database) closure(root *Node, rel relKind, depth int, policy cluster.Policy) (int, bool, error) {
-	if err := db.access(store.NilOID, root.OID, policy); err != nil {
+	if err := db.access(backend.NilOID, root.OID, policy); err != nil {
 		return 0, false, err
 	}
 	n := 1
@@ -499,15 +505,15 @@ func (db *Database) closure(root *Node, rel relKind, depth int, policy cluster.P
 		if remaining == 0 {
 			return nil
 		}
-		var next []store.OID
+		var next []backend.OID
 		switch rel {
 		case relChildren:
 			next = cur.Children
 		case relParts:
 			next = cur.Parts
 		case relRefTo:
-			if cur.RefTo != store.NilOID {
-				next = []store.OID{cur.RefTo}
+			if cur.RefTo != backend.NilOID {
+				next = []backend.OID{cur.RefTo}
 			}
 		}
 		for _, oid := range next {
@@ -526,12 +532,12 @@ func (db *Database) closure(root *Node, rel relKind, depth int, policy cluster.P
 }
 
 // access faults one node and feeds the policy.
-func (db *Database) access(from, to store.OID, policy cluster.Policy) error {
+func (db *Database) access(from, to backend.OID, policy cluster.Policy) error {
 	if err := db.Store.Access(to); err != nil {
 		return err
 	}
 	if policy != nil {
-		if from == store.NilOID {
+		if from == backend.NilOID {
 			policy.ObserveRoot(to)
 		} else {
 			policy.ObserveLink(from, to)
@@ -590,7 +596,7 @@ func Check(db *Database) error {
 				return fmt.Errorf("hypermodel: partOf inverse missing for node %d", id)
 			}
 		}
-		if n.RefTo == store.NilOID {
+		if n.RefTo == backend.NilOID {
 			return fmt.Errorf("hypermodel: node %d has no refTo", id)
 		}
 	}

@@ -3,7 +3,7 @@ package hypermodel
 import (
 	"testing"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 func smallParams() Params {
@@ -275,5 +275,5 @@ func TestRefFromInverse(t *testing.T) {
 	if total != db.NumNodes() {
 		t.Fatalf("refFrom total = %d, want %d", total, db.NumNodes())
 	}
-	_ = store.NilOID
+	_ = backend.NilOID
 }

@@ -23,10 +23,10 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // Params sizes the OO1 database and workload.
@@ -54,10 +54,14 @@ type Params struct {
 	// NRuns is how many times each operation is repeated. Default 10.
 	NRuns int
 
-	// Store geometry.
-	PageSize    int
-	BufferPages int
-	Policy      buffer.Policy
+	// Backend selects the system-under-test driver ("" = "paged");
+	// BackendOptions are driver-specific key=value settings. The geometry
+	// fields below apply to paged backends and are ignored by others.
+	Backend        string
+	BackendOptions map[string]string
+	PageSize       int
+	BufferPages    int
+	Policy         buffer.Policy
 
 	// Seed drives all generation and workload randomness.
 	Seed int64
@@ -103,32 +107,32 @@ func (p Params) Validate() error {
 
 // Part is a composite element of the OO1 database.
 type Part struct {
-	OID store.OID
+	OID backend.OID
 	// ID is the part's dictionary id (locality is defined over ids).
 	ID int
 	// Out are the connections leaving this part (Connect references).
-	Out []store.OID
+	Out []backend.OID
 	// In are the connections arriving at this part (reverse direction).
-	In []store.OID
+	In []backend.OID
 }
 
 // Connection links two parts.
 type Connection struct {
-	OID  store.OID
-	From store.OID // source part
-	To   store.OID // destination part
+	OID  backend.OID
+	From backend.OID // source part
+	To   backend.OID // destination part
 }
 
 // Database is a generated OO1 object base.
 type Database struct {
 	P     Params
-	Store *store.Store
+	Store backend.Backend
 	// Parts is the dictionary, keyed by store OID.
-	Parts map[store.OID]*Part
+	Parts map[backend.OID]*Part
 	// ByID maps part id (1-based) to OID; ids are dense.
-	ByID []store.OID
+	ByID []backend.OID
 	// Conns maps a connection OID to its record.
-	Conns map[store.OID]*Connection
+	Conns map[backend.OID]*Connection
 	// GenTime is the database creation wall-clock time.
 	GenTime time.Duration
 
@@ -146,10 +150,11 @@ func Generate(p Params) (*Database, error) {
 	if p.RefZone == 0 {
 		p.RefZone = p.NumParts / 100
 	}
-	st, err := store.Open(store.Config{
+	st, err := backend.Open(p.Backend, backend.Config{
 		PageSize:    p.PageSize,
 		BufferPages: p.BufferPages,
 		Policy:      p.Policy,
+		Options:     p.BackendOptions,
 	})
 	if err != nil {
 		return nil, err
@@ -157,9 +162,9 @@ func Generate(p Params) (*Database, error) {
 	db := &Database{
 		P:     p,
 		Store: st,
-		Parts: make(map[store.OID]*Part, p.NumParts),
-		ByID:  make([]store.OID, 1, p.NumParts+1),
-		Conns: make(map[store.OID]*Connection, p.NumParts*p.ConnsPerPart),
+		Parts: make(map[backend.OID]*Part, p.NumParts),
+		ByID:  make([]backend.OID, 1, p.NumParts+1),
+		Conns: make(map[backend.OID]*Connection, p.NumParts*p.ConnsPerPart),
 		src:   lewis.New(p.Seed),
 	}
 
@@ -271,14 +276,14 @@ func (db *Database) Traversal(policy cluster.Policy, reverse bool) (OpResult, er
 
 // TraversalFrom is Traversal with an explicit root — the replay hook the
 // before/after clustering protocol (DSTC-CluB) needs.
-func (db *Database) TraversalFrom(policy cluster.Policy, root store.OID, reverse bool) (OpResult, error) {
+func (db *Database) TraversalFrom(policy cluster.Policy, root backend.OID, reverse bool) (OpResult, error) {
 	if _, ok := db.Parts[root]; !ok {
 		return OpResult{}, fmt.Errorf("oo1: root %d is not a part", root)
 	}
 	return db.measure(policy, func() (int, error) {
 		n := 0
-		var visit func(part store.OID, depth int) error
-		visit = func(oid store.OID, depth int) error {
+		var visit func(part backend.OID, depth int) error
+		visit = func(oid backend.OID, depth int) error {
 			if err := db.Store.Access(oid); err != nil {
 				return err
 			}
@@ -406,8 +411,8 @@ func (db *Database) RunAll(policy cluster.Policy) ([]BenchResult, error) {
 
 // AllOIDs enumerates parts then connections, the order whole-database
 // clustering policies relocate in.
-func (db *Database) AllOIDs() []store.OID {
-	out := make([]store.OID, 0, len(db.Parts)+len(db.Conns))
+func (db *Database) AllOIDs() []backend.OID {
+	out := make([]backend.OID, 0, len(db.Parts)+len(db.Conns))
 	for i := 1; i <= db.NumParts(); i++ {
 		out = append(out, db.ByID[i])
 	}

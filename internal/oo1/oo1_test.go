@@ -3,7 +3,7 @@ package oo1
 import (
 	"testing"
 
-	"ocb/internal/store"
+	"ocb/internal/backend"
 )
 
 func smallParams() Params {
@@ -37,7 +37,7 @@ func TestGenerateShape(t *testing.T) {
 	}
 	// Parts are created before connections: part ids coincide with OIDs.
 	for i := 1; i <= p.NumParts; i++ {
-		if db.ByID[i] != store.OID(i) {
+		if db.ByID[i] != backend.OID(i) {
 			t.Fatalf("part %d has OID %d", i, db.ByID[i])
 		}
 	}

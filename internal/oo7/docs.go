@@ -1,8 +1,8 @@
 package oo7
 
 import (
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
-	"ocb/internal/store"
 )
 
 // Document-centric operations of the OO7 workload: the traversal group's
@@ -17,7 +17,7 @@ func (db *Database) T8(policy cluster.Policy) (OpResult, error) {
 		if comp == nil {
 			return 0, nil
 		}
-		if err := db.access(store.NilOID, comp.Doc, policy); err != nil {
+		if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
 			return 0, err
 		}
 		return 1, nil
@@ -33,7 +33,7 @@ func (db *Database) T9(policy cluster.Policy) (OpResult, error) {
 			if comp == nil {
 				continue
 			}
-			if err := db.access(store.NilOID, comp.Doc, policy); err != nil {
+			if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
 				return n, err
 			}
 			n++
@@ -52,7 +52,7 @@ func (db *Database) Q8(policy cluster.Policy) (OpResult, error) {
 			if comp == nil {
 				continue
 			}
-			if err := db.access(store.NilOID, comp.Doc, policy); err != nil {
+			if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
 				return n, err
 			}
 			n++

@@ -28,10 +28,10 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
-	"ocb/internal/store"
 )
 
 // Params sizes the OO7 database ("small" configuration by default).
@@ -56,10 +56,15 @@ type Params struct {
 	// DateRange is the build-date attribute domain. Default 100000.
 	DateRange int
 
-	PageSize    int
-	BufferPages int
-	Policy      buffer.Policy
-	Seed        int64
+	// Backend selects the system-under-test driver ("" = "paged");
+	// BackendOptions are driver-specific settings. The geometry fields
+	// apply to paged backends and are ignored by others.
+	Backend        string
+	BackendOptions map[string]string
+	PageSize       int
+	BufferPages    int
+	Policy         buffer.Policy
+	Seed           int64
 }
 
 // DefaultParams returns the OO7 small configuration.
@@ -100,65 +105,65 @@ func (p Params) Validate() error {
 
 // AtomicPart is a node of a composite part's graph.
 type AtomicPart struct {
-	OID       store.OID
+	OID       backend.OID
 	ID        int // dense id across the database
 	BuildDate int
-	Comp      int         // owning composite (index into Comps)
-	Out       []store.OID // connection objects
-	In        []store.OID
+	Comp      int           // owning composite (index into Comps)
+	Out       []backend.OID // connection objects
+	In        []backend.OID
 }
 
 // Connection wires two atomic parts.
 type Connection struct {
-	OID      store.OID
-	From, To store.OID
+	OID      backend.OID
+	From, To backend.OID
 }
 
 // Document is a composite part's documentation.
 type Document struct {
-	OID   store.OID
+	OID   backend.OID
 	Title int // synthetic title key
 	Comp  int
 }
 
 // CompositePart is a library element.
 type CompositePart struct {
-	OID       store.OID
+	OID       backend.OID
 	ID        int
 	BuildDate int
-	Root      store.OID   // root atomic part
-	Atomics   []store.OID // all atomic parts
-	Doc       store.OID
-	UsedBy    []store.OID // base assemblies referencing this composite
+	Root      backend.OID   // root atomic part
+	Atomics   []backend.OID // all atomic parts
+	Doc       backend.OID
+	UsedBy    []backend.OID // base assemblies referencing this composite
 }
 
 // Assembly is a node of the assembly hierarchy.
 type Assembly struct {
-	OID       store.OID
+	OID       backend.OID
 	ID        int
 	Level     int
 	BuildDate int
-	Parent    store.OID
+	Parent    backend.OID
 	// Sub holds child assemblies for complex assemblies; Comps holds the
 	// composite references for base assemblies.
-	Sub   []store.OID
-	Comps []store.OID
+	Sub   []backend.OID
+	Comps []backend.OID
 }
 
 // Database is a generated OO7 object base.
 type Database struct {
 	P     Params
-	Store *store.Store
+	Store backend.Backend
 
 	Comps    []*CompositePart // dense, index = ID
-	compIdx  map[store.OID]int
-	Atomics  map[store.OID]*AtomicPart
-	AtomicID []store.OID // dense id -> OID
-	Conns    map[store.OID]*Connection
-	Docs     map[store.OID]*Document
-	Assms    map[store.OID]*Assembly
-	RootAssm store.OID
-	BaseAssm []store.OID
+	compIdx  map[backend.OID]int
+	Atomics  map[backend.OID]*AtomicPart
+	AtomicID []backend.OID // dense id -> OID
+	Conns    map[backend.OID]*Connection
+	Docs     map[backend.OID]*Document
+	Assms    map[backend.OID]*Assembly
+	RootAssm backend.OID
+	BaseAssm []backend.OID
 
 	GenTime time.Duration
 	src     *lewis.Source
@@ -171,10 +176,11 @@ func Generate(p Params) (*Database, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	st, err := store.Open(store.Config{
+	st, err := backend.Open(p.Backend, backend.Config{
 		PageSize:    p.PageSize,
 		BufferPages: p.BufferPages,
 		Policy:      p.Policy,
+		Options:     p.BackendOptions,
 	})
 	if err != nil {
 		return nil, err
@@ -182,11 +188,11 @@ func Generate(p Params) (*Database, error) {
 	db := &Database{
 		P:       p,
 		Store:   st,
-		compIdx: make(map[store.OID]int),
-		Atomics: make(map[store.OID]*AtomicPart),
-		Conns:   make(map[store.OID]*Connection),
-		Docs:    make(map[store.OID]*Document),
-		Assms:   make(map[store.OID]*Assembly),
+		compIdx: make(map[backend.OID]int),
+		Atomics: make(map[backend.OID]*AtomicPart),
+		Conns:   make(map[backend.OID]*Connection),
+		Docs:    make(map[backend.OID]*Document),
+		Assms:   make(map[backend.OID]*Assembly),
 		src:     lewis.New(p.Seed),
 	}
 
@@ -198,7 +204,7 @@ func Generate(p Params) (*Database, error) {
 
 	// Assembly hierarchy: levels 1..AssmLevels, level AssmLevels holds the
 	// base assemblies.
-	root, err := db.buildAssembly(1, store.NilOID)
+	root, err := db.buildAssembly(1, backend.NilOID)
 	if err != nil {
 		return nil, err
 	}
@@ -268,11 +274,11 @@ func (db *Database) newComposite() (*CompositePart, error) {
 }
 
 // buildAssembly recursively creates the hierarchy below one assembly.
-func (db *Database) buildAssembly(level int, parent store.OID) (store.OID, error) {
+func (db *Database) buildAssembly(level int, parent backend.OID) (backend.OID, error) {
 	p := db.P
 	oid, err := db.Store.Create(p.AssmSize)
 	if err != nil {
-		return store.NilOID, fmt.Errorf("oo7: assembly: %w", err)
+		return backend.NilOID, fmt.Errorf("oo7: assembly: %w", err)
 	}
 	a := &Assembly{
 		OID:       oid,
@@ -295,7 +301,7 @@ func (db *Database) buildAssembly(level int, parent store.OID) (store.OID, error
 	for i := 0; i < p.AssmFanout; i++ {
 		sub, err := db.buildAssembly(level+1, oid)
 		if err != nil {
-			return store.NilOID, err
+			return backend.NilOID, err
 		}
 		a.Sub = append(a.Sub, sub)
 	}
@@ -333,12 +339,12 @@ func (db *Database) measure(name string, policy cluster.Policy, op func() (int, 
 }
 
 // access faults an object and feeds the policy.
-func (db *Database) access(from, to store.OID, policy cluster.Policy) error {
+func (db *Database) access(from, to backend.OID, policy cluster.Policy) error {
 	if err := db.Store.Access(to); err != nil {
 		return err
 	}
 	if policy != nil {
-		if from == store.NilOID {
+		if from == backend.NilOID {
 			policy.ObserveRoot(to)
 		} else {
 			policy.ObserveLink(from, to)
@@ -352,10 +358,10 @@ func (db *Database) access(from, to store.OID, policy cluster.Policy) error {
 // update selects how many visited atomics are updated: 0 none, 1 the
 // root only (T2a), -1 all (T2b).
 func (db *Database) traverseComposite(comp *CompositePart, update int, policy cluster.Policy) (int, error) {
-	visited := make(map[store.OID]bool)
+	visited := make(map[backend.OID]bool)
 	n := 0
-	var dfs func(aoid store.OID) error
-	dfs = func(aoid store.OID) error {
+	var dfs func(aoid backend.OID) error
+	dfs = func(aoid backend.OID) error {
 		if visited[aoid] {
 			return nil
 		}
@@ -390,8 +396,8 @@ func (db *Database) traverseComposite(comp *CompositePart, update int, policy cl
 func (db *Database) traversal(name string, update int, sparse bool, policy cluster.Policy) (OpResult, error) {
 	return db.measure(name, policy, func() (int, error) {
 		n := 0
-		var walk func(aoid store.OID) error
-		walk = func(aoid store.OID) error {
+		var walk func(aoid backend.OID) error
+		walk = func(aoid backend.OID) error {
 			a := db.Assms[aoid]
 			if err := db.access(a.Parent, aoid, policy); err != nil {
 				return err
@@ -438,7 +444,7 @@ func (db *Database) traversal(name string, update int, sparse bool, policy clust
 }
 
 // compByOID maps a composite OID back to its index.
-func (db *Database) compByOID(oid store.OID) int {
+func (db *Database) compByOID(oid backend.OID) int {
 	if i, ok := db.compIdx[oid]; ok {
 		return i
 	}
@@ -478,7 +484,7 @@ func (db *Database) Q1(policy cluster.Policy) (OpResult, error) {
 		n := 0
 		for i := 0; i < 10; i++ {
 			oid := db.AtomicID[db.src.Intn(len(db.AtomicID))]
-			if err := db.access(store.NilOID, oid, policy); err != nil {
+			if err := db.access(backend.NilOID, oid, policy); err != nil {
 				return n, err
 			}
 			n++
@@ -500,7 +506,7 @@ func (db *Database) rangeQuery(name string, frac float64, policy cluster.Policy)
 			if a.BuildDate < lo || a.BuildDate >= hi {
 				continue
 			}
-			if err := db.access(store.NilOID, oid, policy); err != nil {
+			if err := db.access(backend.NilOID, oid, policy); err != nil {
 				return n, err
 			}
 			n++
@@ -526,7 +532,7 @@ func (db *Database) Q4(policy cluster.Policy) (OpResult, error) {
 		n := 0
 		for i := 0; i < 10; i++ {
 			comp := db.Comps[db.src.Intn(len(db.Comps))]
-			if err := db.access(store.NilOID, comp.Doc, policy); err != nil {
+			if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
 				return n, err
 			}
 			if err := db.access(comp.Doc, comp.Root, policy); err != nil {
@@ -545,7 +551,7 @@ func (db *Database) Q5(policy cluster.Policy) (OpResult, error) {
 		n := 0
 		for _, boid := range db.BaseAssm {
 			b := db.Assms[boid]
-			if err := db.access(store.NilOID, boid, policy); err != nil {
+			if err := db.access(backend.NilOID, boid, policy); err != nil {
 				return n, err
 			}
 			n++
@@ -567,7 +573,7 @@ func (db *Database) Q7(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q7", policy, func() (int, error) {
 		n := 0
 		for _, oid := range db.AtomicID {
-			if err := db.access(store.NilOID, oid, policy); err != nil {
+			if err := db.access(backend.NilOID, oid, policy); err != nil {
 				return n, err
 			}
 			n++
@@ -639,7 +645,7 @@ func (db *Database) Delete(ids []int, policy cluster.Policy) (OpResult, error) {
 			n++
 			for _, boid := range comp.UsedBy {
 				b := db.Assms[boid]
-				var kept []store.OID
+				var kept []backend.OID
 				for _, c := range b.Comps {
 					if c != comp.OID {
 						kept = append(kept, c)

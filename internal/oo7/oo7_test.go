@@ -152,7 +152,7 @@ func TestInsertDeleteRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	objectsBefore := db.Store.NumObjects()
+	objectsBefore := db.Store.Stats().Objects
 	atomicsBefore := db.NumAtomics()
 
 	ids, res, err := db.Insert(2, nil)
@@ -165,7 +165,7 @@ func TestInsertDeleteRoundTrip(t *testing.T) {
 	if res.IOs == 0 {
 		t.Fatal("insert committed no I/O")
 	}
-	if db.Store.NumObjects() <= objectsBefore {
+	if db.Store.Stats().Objects <= objectsBefore {
 		t.Fatal("store did not grow")
 	}
 	if err := Check(db); err != nil {
@@ -175,8 +175,8 @@ func TestInsertDeleteRoundTrip(t *testing.T) {
 	if _, err := db.Delete(ids, nil); err != nil {
 		t.Fatal(err)
 	}
-	if db.Store.NumObjects() != objectsBefore {
-		t.Fatalf("store objects = %d, want %d after delete", db.Store.NumObjects(), objectsBefore)
+	if db.Store.Stats().Objects != objectsBefore {
+		t.Fatalf("store objects = %d, want %d after delete", db.Store.Stats().Objects, objectsBefore)
 	}
 	// AtomicID keeps dense history; live atomics map must be back to size.
 	if len(db.Atomics) != atomicsBefore {

@@ -4,30 +4,23 @@ import (
 	"fmt"
 	"sort"
 
+	"ocb/internal/backend"
 	"ocb/internal/disk"
 )
 
-// Image is a serializable snapshot of a store: the disk content, the
-// object table, and the geometry needed to reopen it. The buffer pool is
-// not part of the image — a restored store starts with a cold cache, like
-// a freshly booted system.
-type Image struct {
-	Config  Config
-	Disk    *disk.Snapshot
-	NextOID OID
-	Objects []ImageObject
-}
+// Image is the serializable snapshot type of the backend protocol; the
+// store fills it with its disk content, object table and geometry. The
+// buffer pool is not part of the image — a restored store starts with a
+// cold cache, like a freshly booted system.
+type Image = backend.Image
 
 // ImageObject is one object-table entry.
-type ImageObject struct {
-	OID   OID
-	Size  int
-	Pages []disk.PageID
-}
+type ImageObject = backend.ImageObject
 
-// Image captures the store's persistent state. Dirty pages are flushed
-// first so the image is self-consistent. Snapshotting is a stop-the-world
-// operation: it excludes every concurrent access.
+// Image captures the store's persistent state (the backend.Snapshotter
+// capability). Dirty pages are flushed first so the image is
+// self-consistent. Snapshotting is a stop-the-world operation: it excludes
+// every concurrent access.
 func (s *Store) Image() (*Image, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -35,7 +28,7 @@ func (s *Store) Image() (*Image, error) {
 		return nil, err
 	}
 	img := &Image{
-		Config: Config{
+		Config: backend.Config{
 			PageSize:    s.disk.PageSize(),
 			BufferPages: s.pool.Capacity(),
 			Policy:      s.pool.Policy(),
@@ -57,26 +50,25 @@ func (s *Store) Image() (*Image, error) {
 	return img, nil
 }
 
-// FromImage reopens a store from an image, with a cold cache and zeroed
-// statistics.
-func FromImage(img *Image) (*Store, error) {
+// Restore replays an image into this store (the backend.Restorer
+// capability). It must be called on a freshly opened, empty store — the
+// geometry the store was opened with is kept, the image supplies content.
+func (s *Store) Restore(img *Image) error {
 	if img == nil || img.Disk == nil {
-		return nil, fmt.Errorf("store: nil image")
+		return fmt.Errorf("store: nil image")
 	}
-	s, err := Open(img.Config)
-	if err != nil {
-		return nil, err
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.disk.Import(img.Disk)
 	s.next.Store(uint64(img.NextOID))
 	for _, o := range img.Objects {
 		if len(o.Pages) == 0 {
-			return nil, fmt.Errorf("store: image object %d has no pages", o.OID)
+			return fmt.Errorf("store: image object %d has no pages", o.OID)
 		}
 		s.setLoc(o.OID, &loc{pages: append([]disk.PageID(nil), o.Pages...), size: o.Size})
 	}
 	// Verify the directory agrees with the pages.
-	err = s.forEachLoc(func(oid OID, l *loc) error {
+	return s.forEachLoc(func(oid OID, l *loc) error {
 		for _, pid := range l.pages {
 			pg, ok := s.disk.Peek(pid)
 			if !ok {
@@ -88,8 +80,4 @@ func FromImage(img *Image) (*Store, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return s, nil
 }

@@ -47,25 +47,30 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/disk"
 )
 
-// OID identifies a stored object. Zero is NilOID, never a live object.
-type OID uint64
+// OID identifies a stored object. It aliases backend.OID so a *Store
+// satisfies the backend.Backend contract directly — the "paged" driver is
+// this store with zero wrapping, which keeps single-client measurements
+// bit-identical to the pre-interface implementation.
+type OID = backend.OID
 
 // NilOID is the null object reference.
-const NilOID OID = 0
+const NilOID = backend.NilOID
 
 // ObjectHeaderSize is the per-object on-disk overhead (oid + class tag +
 // reference count words), modeled after persistent C++ object headers.
-const ObjectHeaderSize = 16
+const ObjectHeaderSize = backend.ObjectHeaderSize
 
-// Errors returned by the store.
+// Errors returned by the store — the backend protocol's sentinels, so
+// errors.Is works identically through the interface and the concrete type.
 var (
-	ErrNoSuchObject   = errors.New("store: no such object")
-	ErrObjectTooLarge = errors.New("store: object larger than a page")
-	ErrBadSize        = errors.New("store: object size must be positive")
+	ErrNoSuchObject   = backend.ErrNoSuchObject
+	ErrObjectTooLarge = backend.ErrObjectTooLarge
+	ErrBadSize        = backend.ErrBadSize
 )
 
 // Config parameterizes a store. Zero values select the paper's testbed
@@ -110,23 +115,12 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Stats is a snapshot of every counter the benchmarks report.
-type Stats struct {
-	Disk            disk.Stats
-	Pool            buffer.Stats
-	ObjectsAccessed uint64
-	Objects         int
-	Pages           int
-}
+// Stats is a snapshot of every counter the benchmarks report (the
+// backend-protocol struct; the disk and pool sub-structs are live here).
+type Stats = backend.Stats
 
 // RelocStats reports the cost of one Relocate call.
-type RelocStats struct {
-	ObjectsMoved int
-	PagesRead    int
-	PagesWritten int
-	PagesFreed   int
-	NewPages     int
-}
+type RelocStats = backend.RelocStats
 
 // Store is a paged persistent object store with exact I/O accounting.
 type Store struct {
