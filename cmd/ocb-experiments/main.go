@@ -15,8 +15,8 @@
 // selects a comma-separated subset of:
 //
 //	table1 table2 table3 fig4 table4 table5 genericity compare types
-//	policies buffer clients scale reverse dstc-sens oo1 hypermodel
-//	oo7 all
+//	policies buffer clients scale scenarios reverse dstc-sens oo1
+//	hypermodel oo7 all
 //
 // `compare` is the cross-backend genericity table: the same workload seed
 // aimed at every registered backend driver, one row per backend.
@@ -55,6 +55,7 @@ var experiments = []struct {
 	{"buffer", "A2: buffer size sweep", exp.BufferSweep},
 	{"clients", "A3: multi-client scaling", exp.MultiClient},
 	{"scale", "multi-client scalability sweep (sharded store, shared database)", exp.Scalability},
+	{"scenarios", "every scenario preset through the unified workload engine", exp.Scenarios},
 	{"reverse", "A4: forward vs reversed traversals", exp.Reverse},
 	{"dstc-sens", "A5: DSTC parameter sensitivity", exp.DSTCSensitivity},
 	{"generic", "A6: fully generic workload (Section 5 extension)", exp.GenericWorkload},

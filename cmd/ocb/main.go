@@ -7,6 +7,18 @@
 // Every Table 1 / Table 2 parameter is a flag; distributions accept the
 // specs of lewis.ParseDistribution (uniform, constant[:k], roundrobin,
 // zipf[:s], normal, negexp[:m], refzone:z[:p]).
+//
+// Subcommands:
+//
+//	ocb run -scenario oo1|oo7|hypermodel|dstc|ocb [flags]
+//	ocb run -scenario-file spec.json [flags]
+//	ocb scenarios
+//
+// `ocb run` executes a scenario preset — any of the benchmark suites, or
+// a user-authored JSON mix — through the unified workload engine and
+// prints one result table per phase (throughput, latency quantiles,
+// per-op breakdown, capability skips). `ocb scenarios` lists the presets.
+// Without a subcommand, ocb runs the classic flag-configured protocol.
 package main
 
 import (
@@ -24,9 +36,25 @@ import (
 	"ocb/internal/dstc"
 	"ocb/internal/lewis"
 	"ocb/internal/report"
+	"ocb/internal/scenarios"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			if err := runScenario(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ocb run: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "scenarios":
+			for _, name := range scenarios.List() {
+				fmt.Printf("%-11s %s\n", name, scenarios.Describe(name))
+			}
+			return
+		}
+	}
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "ocb: %v\n", err)
 		os.Exit(1)

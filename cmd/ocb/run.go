@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ocb/internal/backend"
+	"ocb/internal/report"
+	"ocb/internal/scenarios"
+	"ocb/internal/workload"
+)
+
+// runScenario implements the `ocb run` subcommand: build a scenario
+// preset (or a JSON spec file) and execute it through the unified
+// workload engine, printing one result table per phase.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("ocb run", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: ocb run [-scenario name | -scenario-file spec.json] [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "scenario presets:\n")
+		for _, name := range scenarios.List() {
+			fmt.Fprintf(fs.Output(), "  %-11s %s\n", name, scenarios.Describe(name))
+		}
+		fmt.Fprintf(fs.Output(), "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	name := fs.String("scenario", "", "scenario preset: "+strings.Join(scenarios.List(), " | "))
+	file := fs.String("scenario-file", "", "JSON scenario spec (see examples/scenarios/)")
+	backendName := fs.String("backend", backend.DefaultName,
+		fmt.Sprintf("system-under-test backend: %s", strings.Join(backend.List(), " | ")))
+	var backendOpts backend.OptionFlags
+	fs.Var(&backendOpts, "backend-opt", "backend-specific option key=value (repeatable)")
+	clients := fs.Int("clients", 0, "CLIENTN: concurrent clients (0 keeps the preset default)")
+	think := fs.Duration("think", 0, "THINK latency between operations")
+	openLoop := fs.Bool("openloop", false, "open-loop pacing: fixed arrival schedule of one op per THINK")
+	warmup := fs.Int("warmup", 0, "untimed warmup operations per client (needs -measured; COLDN for ocb)")
+	measured := fs.Int("measured", 0, "sampled mix: measured operations per client (HOTN for ocb)")
+	quick := fs.Bool("quick", false, "scaled-down geometry (seconds instead of minutes)")
+	seed := fs.Int64("seed", 0, "seed offset applied to the preset (0 keeps it)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*name == "") == (*file == "") {
+		fs.Usage()
+		return fmt.Errorf("need exactly one of -scenario or -scenario-file")
+	}
+	opts, err := backend.ParseOptions(backendOpts)
+	if err != nil {
+		return err
+	}
+	o := scenarios.Options{
+		Backend:        *backendName,
+		BackendOptions: opts,
+		Quick:          *quick,
+		Seed:           *seed,
+		Clients:        *clients,
+		Think:          *think,
+		OpenLoop:       *openLoop,
+		Warmup:         *warmup,
+		Measured:       *measured,
+	}
+
+	var sc *scenarios.Scenario
+	if *file != "" {
+		sc, err = scenarios.LoadFile(*file, o)
+	} else {
+		sc, err = scenarios.Build(*name, o)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %s — %s\n", sc.Name, sc.Description)
+	for _, note := range sc.Notes {
+		fmt.Printf("  %s\n", note)
+	}
+	fmt.Println()
+
+	results, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	for _, pr := range results {
+		if pr.SetupNote != "" {
+			fmt.Printf("%s\n\n", pr.SetupNote)
+		}
+		printResult(pr.Result)
+	}
+	return nil
+}
+
+// printResult renders one engine result as the unified scenario table.
+func printResult(r *workload.Result) {
+	t := report.New(fmt.Sprintf("%s — %d clients, %d ops in %s (%.1f ops/s, mean %.1f I/Os per op)",
+		r.Name, r.Clients, r.Executed, report.Dur(r.Duration), r.Throughput, r.MeanIOsPerOp()),
+		"Op", "Count", "Mean µs", "P50 µs", "P95 µs", "P99 µs", "Mean objects", "Mean I/Os")
+	for i := range r.PerOp {
+		om := &r.PerOp[i]
+		if om.Count == 0 && om.Skipped == 0 {
+			continue
+		}
+		count := report.I64(om.Count)
+		if om.Skipped > 0 {
+			count += fmt.Sprintf(" (%d skipped)", om.Skipped)
+		}
+		t.AddRow(om.Name, count, report.F1(om.Response.Mean()),
+			report.F1(om.ResponseQ.Median()), report.F1(om.ResponseQ.P95()), report.F1(om.ResponseQ.P99()),
+			report.F1(om.Objects.Mean()), report.F1(om.IOs.Mean()))
+	}
+	t.AddRow("all", report.I64(r.Executed), report.F1(r.Total.Response.Mean()),
+		report.F1(r.P50()), report.F1(r.P95()), report.F1(r.P99()),
+		report.F1(r.Total.Objects.Mean()), report.F1(r.Total.IOs.Mean()))
+	for _, sk := range r.Skips {
+		t.AddNote("skip: %s", sk)
+	}
+	st := r.Backend
+	if st.Pages > 0 {
+		t.AddNote("backend: %d objects on %d pages, pool hit ratio %.2f, phase disk delta %d reads / %d writes",
+			st.Objects, st.Pages, st.Pool.HitRatio(), r.DiskDelta.TotalReads(), r.DiskDelta.TotalWrites())
+	} else {
+		t.AddNote("backend: %d objects (no page abstraction)", st.Objects)
+	}
+	_ = t.Render(os.Stdout)
+}

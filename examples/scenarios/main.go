@@ -1,0 +1,57 @@
+// Scenarios demonstrates the unified workload engine's declarative
+// surface: every benchmark suite in the repository is a scenario preset,
+// and user-authored JSON spec files re-mix a preset's operations without
+// touching Go. This example runs one bundled spec file (a 4-client
+// open-loop OO1 mix, lookup-heavy) and prints the per-phase results —
+// exactly what `ocb run -scenario-file <path>` does.
+package main
+
+import (
+	_ "ocb/internal/backend/all"
+
+	"flag"
+	"fmt"
+	"log"
+
+	"ocb/internal/scenarios"
+)
+
+func main() {
+	path := flag.String("spec", "examples/scenarios/oo1-mixed.json", "JSON scenario spec to run")
+	flag.Parse()
+
+	sc, err := scenarios.LoadFile(*path, scenarios.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %s — %s\n", sc.Name, sc.Description)
+	for _, note := range sc.Notes {
+		fmt.Printf("  %s\n", note)
+	}
+
+	results, err := sc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pr := range results {
+		r := pr.Result
+		if pr.SetupNote != "" {
+			fmt.Printf("\n%s\n", pr.SetupNote)
+		}
+		fmt.Printf("\nphase %s: %d clients, %d ops in %s (%.0f ops/s)\n",
+			pr.Phase, r.Clients, r.Executed, r.Duration.Round(1e6), r.Throughput)
+		fmt.Printf("  latency µs: mean %.1f, p50 %.1f, p95 %.1f, p99 %.1f\n",
+			r.Total.Response.Mean(), r.P50(), r.P95(), r.P99())
+		for i := range r.PerOp {
+			om := &r.PerOp[i]
+			if om.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-18s %5d ops, %8.1f µs mean, %6.1f objects, %5.1f I/Os\n",
+				om.Name, om.Count, om.Response.Mean(), om.Objects.Mean(), om.IOs.Mean())
+		}
+		for _, sk := range r.Skips {
+			fmt.Printf("  skip: %s\n", sk)
+		}
+	}
+}

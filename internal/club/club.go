@@ -36,6 +36,7 @@ import (
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
 	"ocb/internal/oo1"
+	"ocb/internal/workload"
 )
 
 // Params configures a DSTC-CluB run.
@@ -98,9 +99,14 @@ func Run(p Params, policy cluster.Policy) (*Result, error) {
 	return RunOn(db, p, policy)
 }
 
-// RunOn is Run over an already generated database (so callers can reuse
-// an expensive database across policies).
-func RunOn(db *oo1.Database, p Params, policy cluster.Policy) (*Result, error) {
+// Phases expresses the CluB protocol as unified workload-engine specs:
+// an observation phase whose ops are whole recurring passes ("before" is
+// the first, cold-measured pass; "observe" the remaining recurrences, all
+// watched by the policy), a reorganization step, and a replay phase
+// ("after": the same roots from a cold cache, unobserved). Each pass's
+// Pre drops the cache, exactly as the pre-engine protocol did. The same
+// fixed roots — drawn once from the protocol seed — recur in every pass.
+func Phases(db *oo1.Database, p Params, policy cluster.Policy) (observe, replay *workload.Spec, reorganize func() (backend.RelocStats, error)) {
 	p = p.withDefaults()
 	// Fixed roots: the recurring workload both phases replay.
 	src := lewis.New(p.Seed)
@@ -109,46 +115,78 @@ func RunOn(db *oo1.Database, p Params, policy cluster.Policy) (*Result, error) {
 		roots[i] = db.ByID[src.IntRange(1, db.NumParts())]
 	}
 
-	pass := func(obs cluster.Policy) (float64, error) {
-		db.Store.DropCache()
-		before := db.Store.Stats().Disk.TransactionIOs()
-		for _, root := range roots {
-			if _, err := db.TraversalFrom(obs, root, false); err != nil {
-				return 0, err
+	pass := func(obs cluster.Policy) func(*workload.Ctx) (int, error) {
+		return func(*workload.Ctx) (int, error) {
+			n := 0
+			for _, root := range roots {
+				res, err := db.TraversalFrom(obs, root, false)
+				if err != nil {
+					return n, err
+				}
+				n += res.Objects
 			}
-		}
-		ios := db.Store.Stats().Disk.TransactionIOs() - before
-		return float64(ios) / float64(len(roots)), nil
-	}
-
-	// Observation phase: the workload recurs Repeats times; the first
-	// (cold) pass is the before-reclustering measurement.
-	var before float64
-	for rep := 0; rep < p.Repeats; rep++ {
-		m, err := pass(policy)
-		if err != nil {
-			return nil, err
-		}
-		if rep == 0 {
-			before = m
+			return n, nil
 		}
 	}
+	dropCache := func(*workload.Ctx) error { db.Store.DropCache(); return nil }
 
-	clBefore := db.Store.Stats().Disk.ClusteringIOs()
-	var reloc backend.RelocStats
-	var err error
-	if policy != nil {
-		reloc, err = policy.Reorganize(db.Store)
-		if err != nil {
-			return nil, err
-		}
+	obsOps := []workload.Op{
+		{Name: "before", Count: 1, Pre: dropCache, Run: pass(policy)},
 	}
-	clAfter := db.Store.Stats().Disk.ClusteringIOs()
+	if p.Repeats > 1 {
+		obsOps = append(obsOps, workload.Op{
+			Name: "observe", Count: p.Repeats - 1, Pre: dropCache, Run: pass(policy),
+		})
+	}
+	observe = &workload.Spec{
+		Name:        "club-observe",
+		Description: "CluB observation phase: the recurring traversal workload, policy watching",
+		Backend:     db.Store,
+		Ops:         obsOps,
+	}
+	replay = &workload.Spec{
+		Name:        "club-replay",
+		Description: "CluB replay phase: the same traversals after reclustering",
+		Backend:     db.Store,
+		Ops: []workload.Op{
+			{Name: "after", Count: 1, Pre: dropCache, Run: pass(nil)},
+		},
+	}
+	reorganize = func() (backend.RelocStats, error) {
+		if policy == nil {
+			return backend.RelocStats{}, nil
+		}
+		return policy.Reorganize(db.Store)
+	}
+	return observe, replay, reorganize
+}
 
-	after, err := pass(nil)
+// RunOn is Run over an already generated database (so callers can reuse
+// an expensive database across policies). The passes execute through the
+// unified workload engine; this wrapper only sequences the protocol and
+// derives the gain figures.
+func RunOn(db *oo1.Database, p Params, policy cluster.Policy) (*Result, error) {
+	p = p.withDefaults()
+	observe, replay, reorganize := Phases(db, p, policy)
+
+	ores, err := workload.Run(observe)
 	if err != nil {
 		return nil, err
 	}
+	before := float64(ores.PerOp[0].IOsTotal) / float64(p.Roots)
+
+	clBefore := db.Store.Stats().Disk.ClusteringIOs()
+	reloc, err := reorganize()
+	if err != nil {
+		return nil, err
+	}
+	clAfter := db.Store.Stats().Disk.ClusteringIOs()
+
+	rres, err := workload.Run(replay)
+	if err != nil {
+		return nil, err
+	}
+	after := float64(rres.PerOp[0].IOsTotal) / float64(p.Roots)
 
 	res := &Result{
 		IOsBefore:     before,

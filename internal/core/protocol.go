@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sync"
 	"time"
 
 	"ocb/internal/backend"
@@ -10,6 +8,7 @@ import (
 	"ocb/internal/disk"
 	"ocb/internal/lewis"
 	"ocb/internal/stats"
+	"ocb/internal/workload"
 )
 
 // TypeMetrics aggregates the per-transaction-type measurements OCB
@@ -31,15 +30,6 @@ func (m *TypeMetrics) merge(o *TypeMetrics) {
 	m.ResponseQ.Merge(&o.ResponseQ)
 	m.Objects.Merge(&o.Objects)
 	m.IOs.Merge(&o.IOs)
-}
-
-// add folds one transaction result in.
-func (m *TypeMetrics) add(res TxResult) {
-	m.Count++
-	m.Response.Add(float64(res.Duration.Microseconds()))
-	m.ResponseQ.Add(float64(res.Duration.Microseconds()))
-	m.Objects.Add(float64(res.ObjectsAccessed))
-	m.IOs.Add(float64(res.IOs))
 }
 
 // PhaseMetrics aggregates one protocol phase (cold or warm run), globally
@@ -133,73 +123,93 @@ func (r *Runner) Run() (*Result, error) {
 	return res, nil
 }
 
+// phaseClient is the per-client engine state of an OCB phase: the
+// client's executor and the transaction the sampler drew for the op about
+// to run.
+type phaseClient struct {
+	ex      *Executor
+	pending Transaction
+}
+
+// PhaseSpec builds the workload-engine spec for one OCB protocol phase:
+// the nine transaction types as ops, core's own transaction sampler as
+// the mix (so streams are bit-identical to the pre-engine protocol), one
+// executor per client, and the phase's pacing parameters. Scenario
+// presets run these specs directly; RunPhase runs them and folds the
+// result back into OCB's PhaseMetrics.
+func (r *Runner) PhaseSpec(name string, txPerClient int, seed int64) *workload.Spec {
+	p := r.DB.P
+	ops := make([]workload.Op, NumTxTypes)
+	for t := TxType(0); t < NumTxTypes; t++ {
+		ops[t] = workload.Op{
+			Name: t.String(),
+			Run: func(ctx *workload.Ctx) (int, error) {
+				st := ctx.State.(*phaseClient)
+				// ExecCounted: the engine samples time and disk counters
+				// itself; Exec's own measurement would be dead weight.
+				return st.ex.ExecCounted(st.pending)
+			},
+		}
+	}
+	return &workload.Spec{
+		Name:     name,
+		Clients:  p.ClientN,
+		Measured: txPerClient,
+		Think:    p.Think,
+		OpenLoop: p.OpenLoop,
+		Seed:     seed,
+		Backend:  r.DB.Store,
+		Ops:      ops,
+		NewClient: func(c int, src *lewis.Source) any {
+			return &phaseClient{ex: NewExecutor(r.DB, r.Policy, src)}
+		},
+		Next: func(ctx *workload.Ctx) int {
+			st := ctx.State.(*phaseClient)
+			st.pending = SampleTransaction(p, ctx.Src)
+			return int(st.pending.Type)
+		},
+	}
+}
+
 // RunPhase executes one phase of txPerClient transactions per client,
 // deterministically in seed. Phases with equal seeds replay identical
 // transaction streams — the experiments use this to compare placements
-// before and after reclustering on the same workload.
+// before and after reclustering on the same workload. The fan-out,
+// pacing and measurement live in the workload engine; this wrapper only
+// translates the unified result back into OCB's PhaseMetrics.
 func (r *Runner) RunPhase(name string, txPerClient int, seed int64) (*PhaseMetrics, error) {
-	p := r.DB.P
-	before := r.DB.Store.DiskStats()
-	start := time.Now()
-
-	results := make([]*PhaseMetrics, p.ClientN)
-	errs := make([]error, p.ClientN)
-	var wg sync.WaitGroup
-	for c := 0; c < p.ClientN; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			results[c], errs[c] = r.runClient(txPerClient, seed+int64(c)*104729)
-		}(c)
+	res, err := workload.Run(r.PhaseSpec(name, txPerClient, seed))
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	m := &PhaseMetrics{Name: name}
-	for _, cm := range results {
-		m.merge(cm)
-	}
-	m.Duration = time.Since(start)
-	m.DiskDelta = r.DB.Store.DiskStats().Sub(before)
-	return m, nil
+	return phaseFromResult(res), nil
 }
 
-// runClient is one client's share of a phase. Think-time pacing follows
-// p.OpenLoop: closed loop sleeps Think after each transaction (a client
-// "thinks" only once the answer is back); open loop issues one transaction
-// per Think on a fixed arrival schedule, catching up without sleeping when
-// a transaction overruns its slot.
-func (r *Runner) runClient(n int, seed int64) (*PhaseMetrics, error) {
-	p := r.DB.P
-	src := lewis.New(seed)
-	ex := NewExecutor(r.DB, r.Policy, src)
-	m := &PhaseMetrics{}
-	nextArrival := time.Now()
-	for i := 0; i < n; i++ {
-		tx := SampleTransaction(p, src)
-		res, err := ex.Exec(tx)
-		if err != nil {
-			return nil, fmt.Errorf("ocb: transaction %d (%v): %w", i, tx.Type, err)
-		}
-		m.Transactions++
-		m.Global.add(res)
-		m.PerType[tx.Type].add(res)
-		if p.Think > 0 {
-			if p.OpenLoop {
-				nextArrival = nextArrival.Add(p.Think)
-				if d := time.Until(nextArrival); d > 0 {
-					time.Sleep(d)
-				}
-			} else {
-				time.Sleep(p.Think)
-			}
-		}
+// phaseFromResult folds a workload engine result into PhaseMetrics. The
+// engine's op order is the TxType order, so the translation is direct.
+func phaseFromResult(res *workload.Result) *PhaseMetrics {
+	m := &PhaseMetrics{
+		Name:         res.Name,
+		Transactions: res.Executed,
+		Duration:     res.Duration,
+		Global:       typeMetricsFrom(&res.Total),
+		DiskDelta:    res.DiskDelta,
 	}
-	return m, nil
+	for t := range m.PerType {
+		m.PerType[t] = typeMetricsFrom(&res.PerOp[t])
+	}
+	return m
+}
+
+// typeMetricsFrom converts one engine op aggregate (the fields coincide).
+func typeMetricsFrom(om *workload.OpMetrics) TypeMetrics {
+	return TypeMetrics{
+		Count:     om.Count,
+		Response:  om.Response,
+		ResponseQ: om.ResponseQ,
+		Objects:   om.Objects,
+		IOs:       om.IOs,
+	}
 }
 
 // SampleTransaction draws one transaction according to the workload

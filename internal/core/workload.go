@@ -7,6 +7,7 @@ import (
 	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
+	"ocb/internal/workload"
 )
 
 // TxType enumerates OCB's transaction classes (Fig. 3).
@@ -98,46 +99,14 @@ type Executor struct {
 	Src *lewis.Source
 
 	// seen deduplicates set-access visits; reset is O(1) via generation
-	// stamping instead of reallocating a map per transaction.
-	seen seenSet
+	// stamping instead of reallocating a map per transaction (the scratch
+	// now lives in the workload engine, shared by every suite).
+	seen workload.SeenSet
 	// frontier/next are the BFS level buffers, swapped each level;
 	// nextFrom records each discovery's parent for policy observation.
 	frontier []backend.OID
 	next     []backend.OID
 	nextFrom []backend.OID
-}
-
-// seenSet is a resettable membership set over OIDs. Membership is a
-// generation stamp per slot, so reset is a single counter bump — the
-// allocation-free replacement for the map[OID]bool a set access used to
-// build per transaction.
-type seenSet struct {
-	gen   uint32
-	stamp []uint32
-}
-
-// reset empties the set and ensures capacity for OIDs below n.
-func (s *seenSet) reset(n int) {
-	if len(s.stamp) < n {
-		s.stamp = make([]uint32, n)
-		s.gen = 0
-	}
-	s.gen++
-	if s.gen == 0 { // generation counter wrapped: start a fresh epoch
-		for i := range s.stamp {
-			s.stamp[i] = 0
-		}
-		s.gen = 1
-	}
-}
-
-// add inserts oid, reporting whether it was newly added.
-func (s *seenSet) add(oid backend.OID) bool {
-	if s.stamp[oid] == s.gen {
-		return false
-	}
-	s.stamp[oid] = s.gen
-	return true
 }
 
 // NewExecutor returns an executor for db feeding policy (may be nil).
@@ -175,17 +144,50 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 	before := e.DB.Store.DiskStats()
 	start := time.Now()
 
+	accessed, err := e.execLocked(tx)
+	if err != nil {
+		return TxResult{}, err
+	}
+
+	after := e.DB.Store.DiskStats()
+	return TxResult{
+		ObjectsAccessed: accessed,
+		IOs:             after.TransactionIOs() - before.TransactionIOs(),
+		Duration:        time.Since(start),
+	}, nil
+}
+
+// ExecCounted is Exec without the measuring wrapper: it takes the same
+// locks and runs the same transaction body but returns only the accessed
+// object count. The workload engine uses it on the hot phase path — the
+// engine samples time and disk counters itself, so Exec's per-transaction
+// measurement would be computed twice and discarded.
+func (e *Executor) ExecCounted(tx Transaction) (int, error) {
+	if tx.mutating() {
+		e.DB.mu.Lock()
+		defer e.DB.mu.Unlock()
+	} else {
+		e.DB.mu.RLock()
+		defer e.DB.mu.RUnlock()
+	}
+	return e.execLocked(tx)
+}
+
+// execLocked is the transaction body shared by Exec and ExecCounted; the
+// caller holds the database's graph lock in the mode tx.mutating()
+// demands.
+func (e *Executor) execLocked(tx Transaction) (int, error) {
 	// Under the generic workload, deletions may have invalidated the
 	// sampled root; an in-range but deleted root resolves onto the live
 	// object set. Out-of-range roots remain errors.
 	if tx.Type != InsertOp && tx.Type != ScanOp {
 		if tx.Root == backend.NilOID || int(tx.Root) >= len(e.DB.Objects) {
-			return TxResult{}, fmt.Errorf("ocb: bad root %d", tx.Root)
+			return 0, fmt.Errorf("ocb: bad root %d", tx.Root)
 		}
 		if e.DB.Objects[tx.Root] == nil {
 			root, ok := e.DB.ResolveLive(tx.Root)
 			if !ok {
-				return TxResult{}, fmt.Errorf("ocb: no live objects left")
+				return 0, fmt.Errorf("ocb: no live objects left")
 			}
 			tx.Root = root
 		}
@@ -213,21 +215,15 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 	case RangeOp:
 		accessed, err = e.rangeLookup(tx.Root)
 	default:
-		return TxResult{}, fmt.Errorf("ocb: unknown transaction type %v", tx.Type)
+		return 0, fmt.Errorf("ocb: unknown transaction type %v", tx.Type)
 	}
 	if err != nil {
-		return TxResult{}, err
+		return 0, err
 	}
 	if e.Policy != nil {
 		e.Policy.EndTransaction()
 	}
-
-	after := e.DB.Store.DiskStats()
-	return TxResult{
-		ObjectsAccessed: accessed,
-		IOs:             after.TransactionIOs() - before.TransactionIOs(),
-		Duration:        time.Since(start),
-	}, nil
+	return accessed, nil
 }
 
 // visit faults the object and notifies the policy of the crossing from
@@ -249,7 +245,7 @@ func (e *Executor) visit(from, to backend.OID) error {
 // discover marks a successor as seen and queues it for the level's batched
 // access, remembering the parent link for policy observation.
 func (e *Executor) discover(from, to backend.OID) {
-	if !e.seen.add(to) {
+	if !e.seen.Add(to) {
 		return
 	}
 	e.next = append(e.next, to)
@@ -267,8 +263,8 @@ func (e *Executor) setAccess(root backend.OID, depth int, reverse bool) (int, er
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
 	}
-	e.seen.reset(len(e.DB.Objects))
-	e.seen.add(root)
+	e.seen.Reset(len(e.DB.Objects))
+	e.seen.Add(root)
 	if err := e.visit(backend.NilOID, root); err != nil {
 		return 0, err
 	}

@@ -453,7 +453,7 @@ func All(c Config) ([]*report.Table, error) {
 		GenericityCheck, TypeBreakdown,
 		Policies, BufferSweep, MultiClient, Reverse, DSTCSensitivity,
 		GenericWorkload, RootSkew, SimulatedTestbed,
-		OO1Suite, HyperModelSuite, OO7Suite,
+		OO1Suite, HyperModelSuite, OO7Suite, Scenarios,
 	}
 	var out []*report.Table
 	for _, run := range runners {

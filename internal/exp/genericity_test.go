@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// TestGenericityTableShape pins the `compare` subcommand's cross-backend
+// table: one row per registered backend, the headline columns present,
+// and an identical visited-object signature in every row — the workload
+// is defined over the object graph, not the store.
+func TestGenericityTableShape(t *testing.T) {
+	tb, err := Genericity(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := backend.List()
+	if tb.NumRows() != len(names) {
+		t.Fatalf("got %d rows, want one per registered backend (%d)", tb.NumRows(), len(names))
+	}
+	wantHeaders := []string{"Backend", "Objects visited", "Mean objects per tx",
+		"Mean I/Os per tx", "Mean response (µs)", "DSTC gain"}
+	if len(tb.Headers) != len(wantHeaders) {
+		t.Fatalf("headers = %v", tb.Headers)
+	}
+	for i, h := range wantHeaders {
+		if tb.Headers[i] != h {
+			t.Fatalf("header %d = %q, want %q", i, tb.Headers[i], h)
+		}
+	}
+
+	rows := tb.Rows()
+	seen := map[string]bool{}
+	signature := rows[0][1]
+	for _, row := range rows {
+		seen[row[0]] = true
+		if row[1] != signature {
+			t.Errorf("backend %s visits %s objects, others %s: genericity violated", row[0], row[1], signature)
+		}
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Errorf("no row for registered backend %q", name)
+		}
+	}
+}
+
+// TestGenericityFlatmemSkipsClustering pins the capability-gated column:
+// the flatmem control has no Relocator, so its clustering cell must be
+// the skip line, while paged reports a numeric gain.
+func TestGenericityFlatmemSkipsClustering(t *testing.T) {
+	tb, err := Genericity(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainCol := len(tb.Headers) - 1
+	foundFlat, foundPaged := false, false
+	for _, row := range tb.Rows() {
+		switch row[0] {
+		case "flatmem":
+			foundFlat = true
+			if row[gainCol] != "skipped (no Relocator)" {
+				t.Errorf("flatmem gain cell = %q, want the skip line", row[gainCol])
+			}
+		case "paged":
+			foundPaged = true
+			if strings.Contains(row[gainCol], "skipped") {
+				t.Errorf("paged gain cell = %q, want a numeric gain", row[gainCol])
+			}
+		}
+	}
+	if !foundFlat || !foundPaged {
+		t.Fatalf("rows missing: flatmem=%v paged=%v", foundFlat, foundPaged)
+	}
+}
+
+// TestScenariosExperiment smokes the scenarios experiment table: one or
+// more rows per preset, all presets covered.
+func TestScenariosExperiment(t *testing.T) {
+	tb, err := Scenarios(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, row := range tb.Rows() {
+		seen[row[0]] = true
+	}
+	for _, want := range []string{"ocb", "oo1", "oo7", "hypermodel", "dstc"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from the table", want)
+		}
+	}
+}

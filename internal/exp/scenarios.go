@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+
+	"ocb/internal/report"
+	"ocb/internal/scenarios"
+)
+
+// Scenarios runs every scenario preset through the unified workload
+// engine on the configured backend — the cross-suite view of the
+// genericity claim: one engine, five benchmarks, one row per phase.
+// Capability-gated steps (DSTC's reorganization on backends without
+// physical relocation) surface in the skip column instead of failing.
+//
+// Exposed as the `scenarios` experiment of cmd/ocb-experiments.
+func Scenarios(c Config) (*report.Table, error) {
+	t := report.New(fmt.Sprintf("Scenarios — every preset through the unified workload engine (backend %q)", c.backendName()),
+		"Scenario", "Phase", "Ops", "Ops/s", "Mean µs", "P95 µs", "Mean I/Os per op", "Skips")
+	for _, name := range scenarios.List() {
+		sc, err := scenarios.Build(name, scenarios.Options{
+			Backend:        c.Backend,
+			BackendOptions: c.BackendOptions,
+			Quick:          c.Quick,
+			Seed:           c.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenarios %s: %w", name, err)
+		}
+		results, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("scenarios %s: %w", name, err)
+		}
+		for _, pr := range results {
+			skips := len(pr.Result.Skips)
+			if pr.SetupSkipped {
+				skips++
+			}
+			t.AddRow(name, pr.Phase, report.I64(pr.Result.Executed),
+				report.F1(pr.Result.Throughput), report.F1(pr.Result.Total.Response.Mean()),
+				report.F1(pr.Result.P95()), report.F1(pr.Result.MeanIOsPerOp()), report.Int(skips))
+		}
+	}
+	t.AddNote("one workload engine behind every row; suites contribute ops and build phases only")
+	return t, nil
+}

@@ -23,12 +23,14 @@ package hypermodel
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
+	"ocb/internal/workload"
 )
 
 // Params sizes the HyperModel database.
@@ -289,74 +291,181 @@ type OpResult struct {
 	Objects            int // objects accessed during the cold run
 }
 
-// RunOp executes one operation under the HyperModel protocol: setup
-// (untimed input precomputation), cold run over the Inputs inputs, then a
-// warm run repeating the same inputs.
-func (db *Database) RunOp(name OpName, policy cluster.Policy) (OpResult, error) {
-	inputs := make([]int, db.P.Inputs)
-	for i := range inputs {
-		inputs[i] = db.src.IntRange(1, db.NumNodes())
-	}
-	res := OpResult{Name: name, Inputs: len(inputs)}
-	// The cold run starts from a cold cache; the warm run that follows
-	// repeats the same inputs to test the effect of caching (§2.2).
-	db.Store.DropCache()
-
-	runOnce := func() (int, uint64, time.Duration, error) {
-		before := db.Store.Stats().Disk.TransactionIOs()
-		start := time.Now()
-		objects := 0
-		update := false
-		for _, in := range inputs {
-			n, upd, err := db.execute(name, in, policy)
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			objects += n
-			update = update || upd
-			if policy != nil {
-				policy.EndTransaction()
-			}
-		}
-		// "If the operation is an update, commit the changes once for
-		// all 50 operations."
-		if update {
-			if err := db.Store.Commit(); err != nil {
-				return 0, 0, 0, err
-			}
-		}
-		ios := db.Store.Stats().Disk.TransactionIOs() - before
-		return objects, ios, time.Since(start), nil
-	}
-
-	var err error
-	res.Objects, res.ColdIOs, res.ColdTime, err = runOnce()
-	if err != nil {
-		return res, fmt.Errorf("hypermodel: %s cold run: %w", name, err)
-	}
-	_, res.WarmIOs, res.WarmTime, err = runOnce()
-	if err != nil {
-		return res, fmt.Errorf("hypermodel: %s warm run: %w", name, err)
-	}
-	return res, nil
+// hmClient is the engine's per-client state: the precomputed inputs of
+// each operation, drawn untimed by the cold pass and replayed by the warm
+// one (the protocol's "setup" step).
+type hmClient struct {
+	inputs map[OpName][]int
 }
 
-// RunAll executes every operation and returns the results in order.
-func (db *Database) RunAll(policy cluster.Policy) ([]OpResult, error) {
-	var out []OpResult
-	for _, op := range AllOperations() {
-		r, err := db.RunOp(op, policy)
+// drawInputs precomputes one operation's input node ids from the client's
+// source.
+func (db *Database) drawInputs(src *lewis.Source) []int {
+	inputs := make([]int, db.P.Inputs)
+	for i := range inputs {
+		inputs[i] = src.IntRange(1, db.NumNodes())
+	}
+	return inputs
+}
+
+// passBody runs one pass of an operation over its precomputed inputs —
+// the body both the cold and warm runs share. "If the operation is an
+// update, commit the changes once for all 50 operations."
+func (db *Database) passBody(name OpName, inputs []int, src *lewis.Source, policy cluster.Policy) (int, error) {
+	objects := 0
+	update := false
+	for _, in := range inputs {
+		n, upd, err := db.execute(name, in, src, policy)
 		if err != nil {
-			return nil, err
+			return objects, err
 		}
-		out = append(out, r)
+		objects += n
+		update = update || upd
+		if policy != nil {
+			policy.EndTransaction()
+		}
+	}
+	if update {
+		if err := db.Store.Commit(); err != nil {
+			return objects, err
+		}
+	}
+	return objects, nil
+}
+
+// opPair returns the engine ops of one HyperModel operation under the
+// setup/cold/warm protocol: "<name>/cold" precomputes the inputs untimed,
+// drops the cache, and runs the first pass; "<name>/warm" repeats the
+// same inputs against the warmed cache. The editing operations mutate
+// node attributes, so they take the spec's exclusive lock.
+func (db *Database) opPair(name OpName, policy cluster.Policy) []workload.Op {
+	mutating := name == EditNode || name == EditText || name == EditMillion
+	return []workload.Op{
+		{
+			Name:     string(name) + "/cold",
+			Weight:   1,
+			Mutating: mutating,
+			Pre: func(ctx *workload.Ctx) error {
+				st := ctx.State.(*hmClient)
+				st.inputs[name] = db.drawInputs(ctx.Src)
+				// The cold run starts from a cold cache; the warm run that
+				// follows repeats the same inputs to test caching (§2.2).
+				db.Store.DropCache()
+				return nil
+			},
+			Run: func(ctx *workload.Ctx) (int, error) {
+				st := ctx.State.(*hmClient)
+				return db.passBody(name, st.inputs[name], ctx.Src, policy)
+			},
+		},
+		{
+			Name:     string(name) + "/warm",
+			Weight:   1,
+			Mutating: mutating,
+			Pre: func(ctx *workload.Ctx) error {
+				// A warm pass sampled without a preceding cold one (a
+				// user-authored mix) draws its own inputs.
+				st := ctx.State.(*hmClient)
+				if st.inputs[name] == nil {
+					st.inputs[name] = db.drawInputs(ctx.Src)
+				}
+				return nil
+			},
+			Run: func(ctx *workload.Ctx) (int, error) {
+				st := ctx.State.(*hmClient)
+				return db.passBody(name, st.inputs[name], ctx.Src, policy)
+			},
+		},
+	}
+}
+
+// scenario builds the engine spec covering the given operations.
+func (db *Database) scenario(names []OpName, policy cluster.Policy, clients int) *workload.Spec {
+	if clients > 1 && policy != nil {
+		policy = cluster.Synchronize(policy)
+	}
+	var ops []workload.Op
+	for _, name := range names {
+		ops = append(ops, db.opPair(name, policy)...)
+	}
+	return &workload.Spec{
+		Name:        "hypermodel",
+		Description: "HyperModel (Tektronix): the 20 operations under the setup/cold/warm protocol",
+		Clients:     clients,
+		Seed:        db.P.Seed,
+		Backend:     db.Store,
+		Lock:        new(sync.RWMutex),
+		Ops:         ops,
+		// Single client continues the generation stream (bit-identical
+		// CLIENTN=1 replay); multi-client runs derive every source so no
+		// client shares state with the database (same discipline as the
+		// other suites).
+		Source: func(c int) *lewis.Source {
+			if c == 0 && clients <= 1 {
+				return db.src
+			}
+			return lewis.New(db.P.Seed + int64(c)*104729)
+		},
+		NewClient: func(int, *lewis.Source) any {
+			return &hmClient{inputs: make(map[OpName][]int)}
+		},
+	}
+}
+
+// Scenario expresses the HyperModel benchmark as a unified
+// workload-engine spec: each of the 20 operations contributes a cold and
+// a warm op. Client 0 continues the database's own generation stream, so
+// CLIENTN=1 runs replay the pre-engine benchmark exactly.
+func (db *Database) Scenario(policy cluster.Policy, clients int) *workload.Spec {
+	return db.scenario(AllOperations(), policy, clients)
+}
+
+// pairResult folds one operation's cold and warm engine aggregates into
+// the suite's OpResult.
+func pairResult(name OpName, inputs int, cold, warm *workload.OpMetrics) OpResult {
+	return OpResult{
+		Name:     name,
+		Inputs:   inputs,
+		ColdIOs:  cold.IOsTotal,
+		WarmIOs:  warm.IOsTotal,
+		ColdTime: time.Duration(cold.Response.Sum() * 1e3),
+		WarmTime: time.Duration(warm.Response.Sum() * 1e3),
+		Objects:  int(cold.ObjectsTotal),
+	}
+}
+
+// RunOp executes one operation under the HyperModel protocol — setup
+// (untimed input precomputation), cold run over the Inputs inputs, then a
+// warm run repeating the same inputs — through the unified workload
+// engine.
+func (db *Database) RunOp(name OpName, policy cluster.Policy) (OpResult, error) {
+	res, err := workload.Run(db.scenario([]OpName{name}, policy, 1))
+	if err != nil {
+		return OpResult{}, fmt.Errorf("hypermodel: %s: %w", name, err)
+	}
+	return pairResult(name, db.P.Inputs, &res.PerOp[0], &res.PerOp[1]), nil
+}
+
+// RunAll executes every operation through the engine and returns the
+// results in protocol order.
+func (db *Database) RunAll(policy cluster.Policy) ([]OpResult, error) {
+	names := AllOperations()
+	res, err := workload.Run(db.scenario(names, policy, 1))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OpResult, 0, len(names))
+	for i, name := range names {
+		out = append(out, pairResult(name, db.P.Inputs, &res.PerOp[2*i], &res.PerOp[2*i+1]))
 	}
 	return out, nil
 }
 
 // execute runs one operation instance from input node id, returning the
-// number of objects accessed and whether it updated the database.
-func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int, bool, error) {
+// number of objects accessed and whether it updated the database. Random
+// choices (EditMillion's new attribute value) come from src, the
+// executing client's source.
+func (db *Database) execute(name OpName, input int, src *lewis.Source, policy cluster.Policy) (int, bool, error) {
 	node := db.Nodes[input]
 	switch name {
 	case NameLookup, NameOIDLookup:
@@ -441,7 +550,7 @@ func (db *Database) execute(name OpName, input int, policy cluster.Policy) (int,
 			return 0, false, err
 		}
 		if name == EditMillion {
-			node.Million = db.src.Intn(db.P.MillionRange)
+			node.Million = src.Intn(db.P.MillionRange)
 		}
 		if policy != nil {
 			policy.ObserveRoot(node.OID)

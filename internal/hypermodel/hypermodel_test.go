@@ -124,7 +124,7 @@ func TestRangeLookupHundredSelectivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, upd, err := db.execute(RangeLookupHundred, 37, nil)
+	n, upd, err := db.execute(RangeLookupHundred, 37, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestRangeLookupMillionSelectivity(t *testing.T) {
 			want++
 		}
 	}
-	n, _, err := db.execute(RangeLookupMillion, input, nil)
+	n, _, err := db.execute(RangeLookupMillion, input, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestClosureChildrenFromRoot(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Closure over children from the root touches the whole tree once.
-	n, _, err := db.execute(ClosureChildren, 1, nil)
+	n, _, err := db.execute(ClosureChildren, 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestClosureRefToBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, _, err := db.execute(ClosureRefTo, 5, nil)
+	n, _, err := db.execute(ClosureRefTo, 5, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestUnknownOperation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := db.execute(OpName("bogus"), 1, nil); err == nil {
+	if _, _, err := db.execute(OpName("bogus"), 1, nil, nil); err == nil {
 		t.Fatal("unknown operation accepted")
 	}
 }

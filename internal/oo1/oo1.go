@@ -21,12 +21,14 @@ package oo1
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
+	"ocb/internal/workload"
 )
 
 // Params sizes the OO1 database and workload.
@@ -246,22 +248,29 @@ type OpResult struct {
 	Duration time.Duration
 }
 
+// lookupOnce is the lookup op body: access p.Lookups randomly selected
+// parts, roots drawn from src (the executing client's source).
+func (db *Database) lookupOnce(src *lewis.Source, policy cluster.Policy) (int, error) {
+	n := 0
+	for i := 0; i < db.P.Lookups; i++ {
+		oid := db.ByID[src.IntRange(1, db.NumParts())]
+		if err := db.Store.Access(oid); err != nil {
+			return n, err
+		}
+		if policy != nil {
+			policy.ObserveRoot(oid)
+		}
+		n++
+	}
+	return n, nil
+}
+
 // Lookup performs one OO1 lookup run: access p.Lookups randomly selected
-// parts.
+// parts. (Single-client convenience over the op body; the benchmark
+// proper runs through the workload engine via Scenario/RunAll.)
 func (db *Database) Lookup(policy cluster.Policy) (OpResult, error) {
 	return db.measure(policy, func() (int, error) {
-		n := 0
-		for i := 0; i < db.P.Lookups; i++ {
-			oid := db.ByID[db.src.IntRange(1, db.NumParts())]
-			if err := db.Store.Access(oid); err != nil {
-				return n, err
-			}
-			if policy != nil {
-				policy.ObserveRoot(oid)
-			}
-			n++
-		}
-		return n, nil
+		return db.lookupOnce(db.src, policy)
 	})
 }
 
@@ -274,6 +283,54 @@ func (db *Database) Traversal(policy cluster.Policy, reverse bool) (OpResult, er
 	return db.TraversalFrom(policy, root, reverse)
 }
 
+// traverseFrom is the traversal op body: depth-first from root through
+// the Connect and To references (or In/From reversed), unmeasured.
+func (db *Database) traverseFrom(policy cluster.Policy, root backend.OID, reverse bool) (int, error) {
+	if _, ok := db.Parts[root]; !ok {
+		return 0, fmt.Errorf("oo1: root %d is not a part", root)
+	}
+	n := 0
+	var visit func(part backend.OID, depth int) error
+	visit = func(oid backend.OID, depth int) error {
+		if err := db.Store.Access(oid); err != nil {
+			return err
+		}
+		n++
+		if depth == 0 {
+			return nil
+		}
+		part := db.Parts[oid]
+		conns := part.Out
+		if reverse {
+			conns = part.In
+		}
+		for _, coid := range conns {
+			// Crossing part -> connection -> part faults both objects.
+			if err := db.Store.Access(coid); err != nil {
+				return err
+			}
+			conn := db.Conns[coid]
+			next := conn.To
+			if reverse {
+				next = conn.From
+			}
+			if policy != nil {
+				policy.ObserveLink(oid, coid)
+				policy.ObserveLink(coid, next)
+			}
+			if err := visit(next, depth-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if policy != nil {
+		policy.ObserveRoot(root)
+	}
+	err := visit(root, db.P.TraversalDepth)
+	return n, err
+}
+
 // TraversalFrom is Traversal with an explicit root — the replay hook the
 // before/after clustering protocol (DSTC-CluB) needs.
 func (db *Database) TraversalFrom(policy cluster.Policy, root backend.OID, reverse bool) (OpResult, error) {
@@ -281,69 +338,35 @@ func (db *Database) TraversalFrom(policy cluster.Policy, root backend.OID, rever
 		return OpResult{}, fmt.Errorf("oo1: root %d is not a part", root)
 	}
 	return db.measure(policy, func() (int, error) {
-		n := 0
-		var visit func(part backend.OID, depth int) error
-		visit = func(oid backend.OID, depth int) error {
-			if err := db.Store.Access(oid); err != nil {
-				return err
+		return db.traverseFrom(policy, root, reverse)
+	})
+}
+
+// insertOnce is the insert op body: add p.Inserts parts and their
+// connections, then commit the changes. Targets are drawn from the
+// database's own generation stream (callers serialize insertions).
+func (db *Database) insertOnce() (int, error) {
+	n := 0
+	for i := 0; i < db.P.Inserts; i++ {
+		part, err := db.newPart()
+		if err != nil {
+			return n, err
+		}
+		n++
+		for c := 0; c < db.P.ConnsPerPart; c++ {
+			if _, err := db.connect(part); err != nil {
+				return n, err
 			}
 			n++
-			if depth == 0 {
-				return nil
-			}
-			part := db.Parts[oid]
-			conns := part.Out
-			if reverse {
-				conns = part.In
-			}
-			for _, coid := range conns {
-				// Crossing part -> connection -> part faults both objects.
-				if err := db.Store.Access(coid); err != nil {
-					return err
-				}
-				conn := db.Conns[coid]
-				next := conn.To
-				if reverse {
-					next = conn.From
-				}
-				if policy != nil {
-					policy.ObserveLink(oid, coid)
-					policy.ObserveLink(coid, next)
-				}
-				if err := visit(next, depth-1); err != nil {
-					return err
-				}
-			}
-			return nil
 		}
-		if policy != nil {
-			policy.ObserveRoot(root)
-		}
-		err := visit(root, db.P.TraversalDepth)
-		return n, err
-	})
+	}
+	return n, db.Store.Commit()
 }
 
 // Insert performs one OO1 insert run: add p.Inserts parts and their
 // connections, then commit the changes.
 func (db *Database) Insert(policy cluster.Policy) (OpResult, error) {
-	return db.measure(policy, func() (int, error) {
-		n := 0
-		for i := 0; i < db.P.Inserts; i++ {
-			part, err := db.newPart()
-			if err != nil {
-				return n, err
-			}
-			n++
-			for c := 0; c < db.P.ConnsPerPart; c++ {
-				if _, err := db.connect(part); err != nil {
-					return n, err
-				}
-				n++
-			}
-		}
-		return n, db.Store.Commit()
-	})
+	return db.measure(policy, db.insertOnce)
 }
 
 // measure wraps an operation with I/O and wall-clock accounting, then
@@ -374,37 +397,82 @@ type BenchResult struct {
 	Objects  int
 }
 
-// RunAll executes the full OO1 benchmark: Lookup, Traversal, Reverse
-// Traversal and Insert, each NRuns times, response time measured for each
-// run.
-func (db *Database) RunAll(policy cluster.Policy) ([]BenchResult, error) {
-	type opdef struct {
-		name string
-		op   func() (OpResult, error)
+// Scenario expresses the OO1 benchmark as a unified workload-engine spec:
+// the four operations (lookup, traversal, reverse traversal, insert) each
+// NRuns times in fixed-program mode, or as a weighted mix when the caller
+// sets Measured. Client 0 continues the database's own generation stream,
+// so CLIENTN=1 runs replay exactly the pre-engine benchmark; extra
+// clients get derived streams. The suite's in-memory dictionaries are not
+// concurrency-safe, so the spec carries a lock the engine takes around
+// every op (shared for reads, exclusive for inserts).
+func (db *Database) Scenario(policy cluster.Policy, clients int) *workload.Spec {
+	if clients > 1 && policy != nil {
+		policy = cluster.Synchronize(policy)
 	}
-	ops := []opdef{
-		{"lookup", func() (OpResult, error) { return db.Lookup(policy) }},
-		{"traversal", func() (OpResult, error) { return db.Traversal(policy, false) }},
-		{"reverse-traversal", func() (OpResult, error) { return db.Traversal(policy, true) }},
-		{"insert", func() (OpResult, error) { return db.Insert(policy) }},
-	}
-	var out []BenchResult
-	for _, od := range ops {
-		agg := BenchResult{Name: od.name, Runs: db.P.NRuns}
-		var ios uint64
-		var dur time.Duration
-		for r := 0; r < db.P.NRuns; r++ {
-			res, err := od.op()
-			if err != nil {
-				return nil, fmt.Errorf("oo1: %s run %d: %w", od.name, r, err)
-			}
-			ios += res.IOs
-			dur += res.Duration
-			agg.Objects += res.Objects
+	end := func(n int, err error) (int, error) {
+		if err == nil && policy != nil {
+			policy.EndTransaction()
 		}
-		agg.MeanIOs = float64(ios) / float64(db.P.NRuns)
-		agg.MeanTime = dur / time.Duration(db.P.NRuns)
-		out = append(out, agg)
+		return n, err
+	}
+	nruns := db.P.NRuns
+	ops := []workload.Op{
+		{Name: "lookup", Weight: 1, Count: nruns, Run: func(ctx *workload.Ctx) (int, error) {
+			return end(db.lookupOnce(ctx.Src, policy))
+		}},
+		{Name: "traversal", Weight: 1, Count: nruns, Run: func(ctx *workload.Ctx) (int, error) {
+			root := db.ByID[ctx.Src.IntRange(1, db.NumParts())]
+			return end(db.traverseFrom(policy, root, false))
+		}},
+		{Name: "reverse-traversal", Weight: 1, Count: nruns, Run: func(ctx *workload.Ctx) (int, error) {
+			root := db.ByID[ctx.Src.IntRange(1, db.NumParts())]
+			return end(db.traverseFrom(policy, root, true))
+		}},
+		{Name: "insert", Weight: 1, Count: nruns, Mutating: true, Run: func(ctx *workload.Ctx) (int, error) {
+			return end(db.insertOnce())
+		}},
+	}
+	return &workload.Spec{
+		Name:        "oo1",
+		Description: "OO1 (Cattell): lookup, traversal, reverse traversal, insert over the parts/connections database",
+		Clients:     clients,
+		Seed:        db.P.Seed,
+		Backend:     db.Store,
+		Lock:        new(sync.RWMutex),
+		Ops:         ops,
+		// A single client continues the database's own generation stream
+		// (CLIENTN=1 runs replay the pre-engine benchmark bit for bit).
+		// Multi-client runs derive every client's source instead: the
+		// engine samples mixed-mode ops from ctx.Src outside the lock,
+		// and sharing db.src with the insert bodies (which draw from it
+		// under the exclusive lock) would race.
+		Source: func(c int) *lewis.Source {
+			if c == 0 && clients <= 1 {
+				return db.src
+			}
+			return lewis.New(db.P.Seed + int64(c)*104729)
+		},
+	}
+}
+
+// RunAll executes the full OO1 benchmark — Lookup, Traversal, Reverse
+// Traversal and Insert, each NRuns times with response time measured per
+// run — through the unified workload engine.
+func (db *Database) RunAll(policy cluster.Policy) ([]BenchResult, error) {
+	res, err := workload.Run(db.Scenario(policy, 1))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BenchResult, 0, len(res.PerOp))
+	for _, om := range res.PerOp {
+		br := BenchResult{Name: om.Name, Runs: int(om.Count), Objects: int(om.ObjectsTotal)}
+		if om.Count > 0 {
+			br.MeanIOs = float64(om.IOsTotal) / float64(om.Count)
+			// Response is in fractional µs; convert at nanosecond
+			// precision so sub-µs means survive.
+			br.MeanTime = time.Duration(om.Response.Sum() / float64(om.Count) * 1e3)
+		}
+		out = append(out, br)
 	}
 	return out, nil
 }

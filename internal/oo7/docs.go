@@ -3,66 +3,82 @@ package oo7
 import (
 	"ocb/internal/backend"
 	"ocb/internal/cluster"
+	"ocb/internal/lewis"
 )
 
 // Document-centric operations of the OO7 workload: the traversal group's
 // T8/T9 touch documentation objects hanging off composite parts, and Q8
 // is the join between documents and atomic parts.
 
-// T8 scans the documentation of one random composite part (the document
-// object is up to DocSize bytes, typically spanning pages).
+// t8Body scans the documentation of one random composite part (the
+// document object is up to DocSize bytes, typically spanning pages).
+func (db *Database) t8Body(src *lewis.Source, policy cluster.Policy) (int, error) {
+	comp := db.Comps[src.Intn(len(db.Comps))]
+	if comp == nil {
+		return 0, nil
+	}
+	if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// T8 scans the documentation of one random composite part.
 func (db *Database) T8(policy cluster.Policy) (OpResult, error) {
 	return db.measure("T8", policy, func() (int, error) {
-		comp := db.Comps[db.src.Intn(len(db.Comps))]
+		return db.t8Body(db.src, policy)
+	})
+}
+
+// t9Body checks the title of every document (a metadata-only pass over
+// the documentation set, in id order for determinism).
+func (db *Database) t9Body(policy cluster.Policy) (int, error) {
+	n := 0
+	for _, comp := range db.Comps {
 		if comp == nil {
-			return 0, nil
+			continue
 		}
 		if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
-			return 0, err
+			return n, err
 		}
-		return 1, nil
-	})
+		n++
+	}
+	return n, nil
 }
 
-// T9 checks the title of every document (a metadata-only pass over the
-// documentation set, in id order for determinism).
+// T9 checks the title of every document.
 func (db *Database) T9(policy cluster.Policy) (OpResult, error) {
 	return db.measure("T9", policy, func() (int, error) {
-		n := 0
-		for _, comp := range db.Comps {
-			if comp == nil {
-				continue
-			}
-			if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
-				return n, err
-			}
-			n++
-		}
-		return n, nil
+		return db.t9Body(policy)
 	})
 }
 
-// Q8 joins documents with the atomic parts of their composite: for every
-// document, access the document then every atomic part whose id matches
-// the composite (the benchmark's id-equality join).
-func (db *Database) Q8(policy cluster.Policy) (OpResult, error) {
-	return db.measure("Q8", policy, func() (int, error) {
-		n := 0
-		for _, comp := range db.Comps {
-			if comp == nil {
-				continue
-			}
-			if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
+// q8Body joins documents with the atomic parts of their composite: for
+// every document, access the document then every atomic part whose id
+// matches the composite (the benchmark's id-equality join).
+func (db *Database) q8Body(policy cluster.Policy) (int, error) {
+	n := 0
+	for _, comp := range db.Comps {
+		if comp == nil {
+			continue
+		}
+		if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
+			return n, err
+		}
+		n++
+		for _, aoid := range comp.Atomics {
+			if err := db.access(comp.Doc, aoid, policy); err != nil {
 				return n, err
 			}
 			n++
-			for _, aoid := range comp.Atomics {
-				if err := db.access(comp.Doc, aoid, policy); err != nil {
-					return n, err
-				}
-				n++
-			}
 		}
-		return n, nil
+	}
+	return n, nil
+}
+
+// Q8 joins documents with the atomic parts of their composite.
+func (db *Database) Q8(policy cluster.Policy) (OpResult, error) {
+	return db.measure("Q8", policy, func() (int, error) {
+		return db.q8Body(policy)
 	})
 }

@@ -26,12 +26,14 @@ package oo7
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ocb/internal/backend"
 	"ocb/internal/buffer"
 	"ocb/internal/cluster"
 	"ocb/internal/lewis"
+	"ocb/internal/workload"
 )
 
 // Params sizes the OO7 database ("small" configuration by default).
@@ -392,54 +394,59 @@ func (db *Database) traverseComposite(comp *CompositePart, update int, policy cl
 	return n, err
 }
 
-// traversal implements the shared skeleton of T1/T2/T3/T6.
-func (db *Database) traversal(name string, update int, sparse bool, policy cluster.Policy) (OpResult, error) {
-	return db.measure(name, policy, func() (int, error) {
-		n := 0
-		var walk func(aoid backend.OID) error
-		walk = func(aoid backend.OID) error {
-			a := db.Assms[aoid]
-			if err := db.access(a.Parent, aoid, policy); err != nil {
+// traversalBody implements the shared skeleton of T1/T2/T3/T6.
+func (db *Database) traversalBody(update int, sparse bool, policy cluster.Policy) (int, error) {
+	n := 0
+	var walk func(aoid backend.OID) error
+	walk = func(aoid backend.OID) error {
+		a := db.Assms[aoid]
+		if err := db.access(a.Parent, aoid, policy); err != nil {
+			return err
+		}
+		n++
+		for _, sub := range a.Sub {
+			if err := walk(sub); err != nil {
 				return err
 			}
-			n++
-			for _, sub := range a.Sub {
-				if err := walk(sub); err != nil {
-					return err
-				}
-			}
-			for _, compOID := range a.Comps {
-				comp := db.Comps[db.compByOID(compOID)]
-				if sparse {
-					// T6: visit the composite and its root atomic only.
-					if err := db.access(aoid, comp.OID, policy); err != nil {
-						return err
-					}
-					if err := db.access(comp.OID, comp.Root, policy); err != nil {
-						return err
-					}
-					n += 2
-					continue
-				}
+		}
+		for _, compOID := range a.Comps {
+			comp := db.Comps[db.compByOID(compOID)]
+			if sparse {
+				// T6: visit the composite and its root atomic only.
 				if err := db.access(aoid, comp.OID, policy); err != nil {
 					return err
 				}
-				n++
-				m, err := db.traverseComposite(comp, update, policy)
-				n += m
-				if err != nil {
+				if err := db.access(comp.OID, comp.Root, policy); err != nil {
 					return err
 				}
+				n += 2
+				continue
 			}
-			return nil
+			if err := db.access(aoid, comp.OID, policy); err != nil {
+				return err
+			}
+			n++
+			m, err := db.traverseComposite(comp, update, policy)
+			n += m
+			if err != nil {
+				return err
+			}
 		}
-		if err := walk(db.RootAssm); err != nil {
-			return n, err
-		}
-		if update != 0 {
-			return n, db.Store.Commit()
-		}
-		return n, nil
+		return nil
+	}
+	if err := walk(db.RootAssm); err != nil {
+		return n, err
+	}
+	if update != 0 {
+		return n, db.Store.Commit()
+	}
+	return n, nil
+}
+
+// traversal measures one traversal run (single-client convenience).
+func (db *Database) traversal(name string, update int, sparse bool, policy cluster.Policy) (OpResult, error) {
+	return db.measure(name, policy, func() (int, error) {
+		return db.traversalBody(update, sparse, policy)
 	})
 }
 
@@ -478,40 +485,54 @@ func (db *Database) T6(policy cluster.Policy) (OpResult, error) {
 	return db.traversal("T6", 0, true, policy)
 }
 
+// q1Body looks up 10 random atomic parts by id. Ids whose atomic was
+// structurally deleted miss (the dictionary keeps dense ids).
+func (db *Database) q1Body(src *lewis.Source, policy cluster.Policy) (int, error) {
+	n := 0
+	for i := 0; i < 10; i++ {
+		oid := db.AtomicID[src.Intn(len(db.AtomicID))]
+		if db.Atomics[oid] == nil {
+			continue
+		}
+		if err := db.access(backend.NilOID, oid, policy); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
 // Q1 looks up 10 random atomic parts by id.
 func (db *Database) Q1(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q1", policy, func() (int, error) {
-		n := 0
-		for i := 0; i < 10; i++ {
-			oid := db.AtomicID[db.src.Intn(len(db.AtomicID))]
-			if err := db.access(backend.NilOID, oid, policy); err != nil {
-				return n, err
-			}
-			n++
-		}
-		return n, nil
+		return db.q1Body(db.src, policy)
 	})
 }
 
-// rangeQuery scans atomic parts whose build date falls in a window
+// rangeBody scans atomic parts whose build date falls in a window
 // covering frac of the domain.
+func (db *Database) rangeBody(frac float64, src *lewis.Source, policy cluster.Policy) (int, error) {
+	width := int(float64(db.P.DateRange) * frac)
+	lo := src.Intn(db.P.DateRange - width + 1)
+	hi := lo + width
+	n := 0
+	for _, oid := range db.AtomicID {
+		a := db.Atomics[oid]
+		if a == nil || a.BuildDate < lo || a.BuildDate >= hi {
+			continue
+		}
+		if err := db.access(backend.NilOID, oid, policy); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// rangeQuery measures one build-date range scan.
 func (db *Database) rangeQuery(name string, frac float64, policy cluster.Policy) (OpResult, error) {
 	return db.measure(name, policy, func() (int, error) {
-		width := int(float64(db.P.DateRange) * frac)
-		lo := db.src.Intn(db.P.DateRange - width + 1)
-		hi := lo + width
-		n := 0
-		for _, oid := range db.AtomicID {
-			a := db.Atomics[oid]
-			if a.BuildDate < lo || a.BuildDate >= hi {
-				continue
-			}
-			if err := db.access(backend.NilOID, oid, policy); err != nil {
-				return n, err
-			}
-			n++
-		}
-		return n, nil
+		return db.rangeBody(frac, db.src, policy)
 	})
 }
 
@@ -525,61 +546,108 @@ func (db *Database) Q3(policy cluster.Policy) (OpResult, error) {
 	return db.rangeQuery("Q3", 0.10, policy)
 }
 
+// q4Body fetches 10 random documents by title and the root atomic part
+// of each owning composite.
+func (db *Database) q4Body(src *lewis.Source, policy cluster.Policy) (int, error) {
+	n := 0
+	for i := 0; i < 10; i++ {
+		comp := db.Comps[src.Intn(len(db.Comps))]
+		if comp == nil { // structurally deleted composite: the lookup misses
+			continue
+		}
+		if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
+			return n, err
+		}
+		if err := db.access(comp.Doc, comp.Root, policy); err != nil {
+			return n, err
+		}
+		n += 2
+	}
+	return n, nil
+}
+
 // Q4 fetches 10 random documents by title and the root atomic part of
 // each owning composite.
 func (db *Database) Q4(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q4", policy, func() (int, error) {
-		n := 0
-		for i := 0; i < 10; i++ {
-			comp := db.Comps[db.src.Intn(len(db.Comps))]
-			if err := db.access(backend.NilOID, comp.Doc, policy); err != nil {
-				return n, err
-			}
-			if err := db.access(comp.Doc, comp.Root, policy); err != nil {
-				return n, err
-			}
-			n += 2
-		}
-		return n, nil
+		return db.q4Body(db.src, policy)
 	})
+}
+
+// q5Body finds base assemblies using a composite part with a build date
+// later than the assembly's.
+func (db *Database) q5Body(policy cluster.Policy) (int, error) {
+	n := 0
+	for _, boid := range db.BaseAssm {
+		b := db.Assms[boid]
+		if err := db.access(backend.NilOID, boid, policy); err != nil {
+			return n, err
+		}
+		n++
+		for _, compOID := range b.Comps {
+			comp := db.Comps[db.compByOID(compOID)]
+			if err := db.access(boid, compOID, policy); err != nil {
+				return n, err
+			}
+			n++
+			_ = comp.BuildDate > b.BuildDate // the predicate result set
+		}
+	}
+	return n, nil
 }
 
 // Q5 finds base assemblies using a composite part with a build date later
 // than the assembly's.
 func (db *Database) Q5(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q5", policy, func() (int, error) {
-		n := 0
-		for _, boid := range db.BaseAssm {
-			b := db.Assms[boid]
-			if err := db.access(backend.NilOID, boid, policy); err != nil {
-				return n, err
-			}
-			n++
-			for _, compOID := range b.Comps {
-				comp := db.Comps[db.compByOID(compOID)]
-				if err := db.access(boid, compOID, policy); err != nil {
-					return n, err
-				}
-				n++
-				_ = comp.BuildDate > b.BuildDate // the predicate result set
-			}
-		}
-		return n, nil
+		return db.q5Body(policy)
 	})
+}
+
+// q7Body scans every live atomic part.
+func (db *Database) q7Body(policy cluster.Policy) (int, error) {
+	n := 0
+	for _, oid := range db.AtomicID {
+		if db.Atomics[oid] == nil {
+			continue
+		}
+		if err := db.access(backend.NilOID, oid, policy); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Q7 scans every atomic part.
 func (db *Database) Q7(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q7", policy, func() (int, error) {
-		n := 0
-		for _, oid := range db.AtomicID {
-			if err := db.access(backend.NilOID, oid, policy); err != nil {
-				return n, err
-			}
-			n++
-		}
-		return n, nil
+		return db.q7Body(policy)
 	})
+}
+
+// insertBody creates count new composite parts and wires each into ten
+// random base assemblies, then commits. Targets are drawn from the
+// database's own generation stream (callers serialize insertions).
+func (db *Database) insertBody(count int) (ids []int, n int, err error) {
+	for i := 0; i < count; i++ {
+		comp, err := db.newComposite()
+		if err != nil {
+			return ids, n, err
+		}
+		ids = append(ids, comp.ID)
+		n += 1 + len(comp.Atomics) + len(comp.Atomics)*db.P.ConnPerAtomic + 1
+		for k := 0; k < 10 && k < len(db.BaseAssm); k++ {
+			boid := db.BaseAssm[db.src.Intn(len(db.BaseAssm))]
+			b := db.Assms[boid]
+			b.Comps = append(b.Comps, comp.OID)
+			comp.UsedBy = append(comp.UsedBy, boid)
+			if err := db.Store.Update(boid); err != nil {
+				return ids, n, err
+			}
+		}
+	}
+	return ids, n, db.Store.Commit()
 }
 
 // Insert creates count new composite parts and wires each into ten random
@@ -587,98 +655,198 @@ func (db *Database) Q7(policy cluster.Policy) (OpResult, error) {
 func (db *Database) Insert(count int, policy cluster.Policy) ([]int, OpResult, error) {
 	var ids []int
 	res, err := db.measure("Insert", policy, func() (int, error) {
-		n := 0
-		for i := 0; i < count; i++ {
-			comp, err := db.newComposite()
-			if err != nil {
-				return n, err
-			}
-			ids = append(ids, comp.ID)
-			n += 1 + len(comp.Atomics) + len(comp.Atomics)*db.P.ConnPerAtomic + 1
-			for k := 0; k < 10 && k < len(db.BaseAssm); k++ {
-				boid := db.BaseAssm[db.src.Intn(len(db.BaseAssm))]
-				b := db.Assms[boid]
-				b.Comps = append(b.Comps, comp.OID)
-				comp.UsedBy = append(comp.UsedBy, boid)
-				if err := db.Store.Update(boid); err != nil {
-					return n, err
-				}
-			}
-		}
-		return n, db.Store.Commit()
+		var n int
+		var err error
+		ids, n, err = db.insertBody(count)
+		return n, err
 	})
 	return ids, res, err
+}
+
+// deleteBody removes the given composite parts (their atomics,
+// connections and documents) and unwires them from assemblies, then
+// commits.
+func (db *Database) deleteBody(ids []int) (int, error) {
+	n := 0
+	for _, id := range ids {
+		if id < 0 || id >= len(db.Comps) || db.Comps[id] == nil {
+			return n, fmt.Errorf("no composite %d", id)
+		}
+		comp := db.Comps[id]
+		for _, aoid := range comp.Atomics {
+			a := db.Atomics[aoid]
+			for _, coid := range a.Out {
+				if db.Conns[coid] == nil {
+					continue
+				}
+				delete(db.Conns, coid)
+				if err := db.Store.Delete(coid); err != nil {
+					return n, err
+				}
+				n++
+			}
+			delete(db.Atomics, aoid)
+			if err := db.Store.Delete(aoid); err != nil {
+				return n, err
+			}
+			n++
+		}
+		delete(db.Docs, comp.Doc)
+		if err := db.Store.Delete(comp.Doc); err != nil {
+			return n, err
+		}
+		n++
+		for _, boid := range comp.UsedBy {
+			b := db.Assms[boid]
+			var kept []backend.OID
+			for _, c := range b.Comps {
+				if c != comp.OID {
+					kept = append(kept, c)
+				}
+			}
+			b.Comps = kept
+			if err := db.Store.Update(boid); err != nil {
+				return n, err
+			}
+		}
+		if err := db.Store.Delete(comp.OID); err != nil {
+			return n, err
+		}
+		n++
+		db.Comps[id] = nil
+	}
+	return n, db.Store.Commit()
 }
 
 // Delete removes the given composite parts (their atomics, connections
 // and documents) and unwires them from assemblies, then commits.
 func (db *Database) Delete(ids []int, policy cluster.Policy) (OpResult, error) {
 	return db.measure("Delete", policy, func() (int, error) {
-		n := 0
-		for _, id := range ids {
-			if id < 0 || id >= len(db.Comps) || db.Comps[id] == nil {
-				return n, fmt.Errorf("no composite %d", id)
-			}
-			comp := db.Comps[id]
-			for _, aoid := range comp.Atomics {
-				a := db.Atomics[aoid]
-				for _, coid := range a.Out {
-					if db.Conns[coid] == nil {
-						continue
-					}
-					delete(db.Conns, coid)
-					if err := db.Store.Delete(coid); err != nil {
-						return n, err
-					}
-					n++
-				}
-				delete(db.Atomics, aoid)
-				if err := db.Store.Delete(aoid); err != nil {
-					return n, err
-				}
-				n++
-			}
-			delete(db.Docs, comp.Doc)
-			if err := db.Store.Delete(comp.Doc); err != nil {
-				return n, err
-			}
-			n++
-			for _, boid := range comp.UsedBy {
-				b := db.Assms[boid]
-				var kept []backend.OID
-				for _, c := range b.Comps {
-					if c != comp.OID {
-						kept = append(kept, c)
-					}
-				}
-				b.Comps = kept
-				if err := db.Store.Update(boid); err != nil {
-					return n, err
-				}
-			}
-			if err := db.Store.Delete(comp.OID); err != nil {
-				return n, err
-			}
-			n++
-			db.Comps[id] = nil
-		}
-		return n, db.Store.Commit()
+		return db.deleteBody(ids)
 	})
 }
 
-// RunAll executes the read-only suite (traversals and queries) once each.
-func (db *Database) RunAll(policy cluster.Policy) ([]OpResult, error) {
-	ops := []func(cluster.Policy) (OpResult, error){
-		db.T1, db.T2a, db.T2b, db.T3a, db.T6, db.T8, db.T9,
-		db.Q1, db.Q2, db.Q3, db.Q4, db.Q5, db.Q7, db.Q8,
+// oo7OpDef is one benchmark operation as an engine-ready op body; the
+// update traversals (T2a/T2b/T3a write atomic parts and commit) are
+// marked mutating so multi-client runs serialize them against readers.
+type oo7OpDef struct {
+	name     string
+	mutating bool
+	body     func(src *lewis.Source) (int, error)
+}
+
+// readOpDefs lists the classic benchmark sweep (traversals and queries)
+// in benchmark order.
+func (db *Database) readOpDefs(policy cluster.Policy) []oo7OpDef {
+	return []oo7OpDef{
+		{"T1", false, func(*lewis.Source) (int, error) { return db.traversalBody(0, false, policy) }},
+		{"T2a", true, func(*lewis.Source) (int, error) { return db.traversalBody(1, false, policy) }},
+		{"T2b", true, func(*lewis.Source) (int, error) { return db.traversalBody(-1, false, policy) }},
+		{"T3a", true, func(*lewis.Source) (int, error) { return db.traversalBody(1, false, policy) }},
+		{"T6", false, func(*lewis.Source) (int, error) { return db.traversalBody(0, true, policy) }},
+		{"T8", false, func(src *lewis.Source) (int, error) { return db.t8Body(src, policy) }},
+		{"T9", false, func(*lewis.Source) (int, error) { return db.t9Body(policy) }},
+		{"Q1", false, func(src *lewis.Source) (int, error) { return db.q1Body(src, policy) }},
+		{"Q2", false, func(src *lewis.Source) (int, error) { return db.rangeBody(0.01, src, policy) }},
+		{"Q3", false, func(src *lewis.Source) (int, error) { return db.rangeBody(0.10, src, policy) }},
+		{"Q4", false, func(src *lewis.Source) (int, error) { return db.q4Body(src, policy) }},
+		{"Q5", false, func(*lewis.Source) (int, error) { return db.q5Body(policy) }},
+		{"Q7", false, func(*lewis.Source) (int, error) { return db.q7Body(policy) }},
+		{"Q8", false, func(*lewis.Source) (int, error) { return db.q8Body(policy) }},
 	}
-	var out []OpResult
-	for _, op := range ops {
-		r, err := op(policy)
-		if err != nil {
-			return nil, err
+}
+
+// scenario builds the engine spec; includeStructural adds the
+// insert+delete round-trip op (excluded from the classic read-only
+// RunAll sweep).
+func (db *Database) scenario(policy cluster.Policy, clients int, includeStructural bool) *workload.Spec {
+	if clients > 1 && policy != nil {
+		policy = cluster.Synchronize(policy)
+	}
+	end := func(n int, err error) (int, error) {
+		if err == nil && policy != nil {
+			policy.EndTransaction()
 		}
-		out = append(out, r)
+		return n, err
+	}
+	var ops []workload.Op
+	for _, d := range db.readOpDefs(policy) {
+		body := d.body
+		ops = append(ops, workload.Op{
+			Name:     d.name,
+			Weight:   1,
+			Mutating: d.mutating,
+			Run: func(ctx *workload.Ctx) (int, error) {
+				return end(body(ctx.Src))
+			},
+		})
+	}
+	if includeStructural {
+		ops = append(ops, workload.Op{
+			Name:     "insert-delete",
+			Weight:   1,
+			Mutating: true,
+			Run: func(ctx *workload.Ctx) (int, error) {
+				// A self-contained structural round trip: one new
+				// composite wired into the hierarchy, then removed —
+				// safe to interleave with other clients' traversals
+				// under the spec's exclusive lock.
+				ids, n, err := db.insertBody(1)
+				if err != nil {
+					return n, err
+				}
+				m, err := db.deleteBody(ids)
+				return end(n+m, err)
+			},
+		})
+	}
+	return &workload.Spec{
+		Name:        "oo7",
+		Description: "OO7 (small): assembly/composite traversals, queries and structural modifications",
+		Clients:     clients,
+		Seed:        db.P.Seed,
+		Backend:     db.Store,
+		Lock:        new(sync.RWMutex),
+		Ops:         ops,
+		// Single client: continue the generation stream (bit-identical
+		// CLIENTN=1 replay). Multi-client: derive every source — the
+		// mixed-mode sampler reads ctx.Src outside the lock, and sharing
+		// db.src with insertBody's draws (exclusive lock) would race.
+		Source: func(c int) *lewis.Source {
+			if c == 0 && clients <= 1 {
+				return db.src
+			}
+			return lewis.New(db.P.Seed + int64(c)*104729)
+		},
+	}
+}
+
+// Scenario expresses the OO7 benchmark as a unified workload-engine spec:
+// the fourteen read operations plus an insert+delete structural round
+// trip, once each in fixed-program mode or as a weighted mix when the
+// caller sets Measured. Client 0 continues the database's own generation
+// stream, so CLIENTN=1 runs replay the pre-engine benchmark exactly.
+func (db *Database) Scenario(policy cluster.Policy, clients int) *workload.Spec {
+	return db.scenario(policy, clients, true)
+}
+
+// RunAll executes the read-only suite (traversals and queries) once each
+// through the unified workload engine.
+func (db *Database) RunAll(policy cluster.Policy) ([]OpResult, error) {
+	res, err := workload.Run(db.scenario(policy, 1, false))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OpResult, 0, len(res.PerOp))
+	for _, om := range res.PerOp {
+		out = append(out, OpResult{
+			Name:    om.Name,
+			Objects: int(om.ObjectsTotal),
+			IOs:     om.IOsTotal,
+			// Response is in fractional µs; convert at nanosecond
+			// precision so sub-µs totals survive.
+			Duration: time.Duration(om.Response.Sum() * 1e3),
+		})
 	}
 	return out, nil
 }

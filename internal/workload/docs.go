@@ -1,0 +1,78 @@
+package workload
+
+// Scenario-author guide
+//
+// This package is the one place that knows how to *run* a benchmark;
+// a scenario contributes only what makes it itself. Writing one means
+// answering four questions.
+//
+// # 1. What is the build phase?
+//
+// Generate your database before constructing the Spec — the engine never
+// builds state, it only measures ops against an existing backend. Your
+// generator should draw every random choice from a seeded lewis.Source
+// so the graph is reproducible, and create objects in a deterministic
+// order (backends issue OIDs sequentially; the cross-suite determinism
+// golden in internal/scenarios compares object counts across backends).
+//
+// # 2. What are the ops?
+//
+// An Op is a named closure over your database. Rules that keep it
+// engine-clean:
+//
+//   - Draw ALL randomness from ctx.Src, never from state shared across
+//     clients. Each client owns its Source; sharing one races.
+//   - Return the number of objects the op accessed. The engine times the
+//     call and samples the backend's disk counters around it — do not
+//     measure inside the op.
+//   - Use the Ctx scratch (ctx.Seen, ctx.Frontier/Queue/Batch) instead
+//     of allocating per-op maps and slices; the measured loop is guarded
+//     allocation-free and your op is inside it.
+//   - Put untimed protocol steps (input precomputation, cache drops) in
+//     Pre, not Run — Pre executes immediately before each run of the op,
+//     outside the measurement window.
+//   - If the op needs an optional backend capability, return ErrSkip or
+//     propagate the backend.ErrNotSupported error: the engine records a
+//     skip and the run continues. Never fail a run for a missing
+//     capability.
+//
+// # 3. What is the mix?
+//
+// Fixed program (Measured == 0): ops run in slice order, each Count
+// times per client — the classic suite protocols (OO1's "each operation
+// NRuns times"). Mixed mode (Measured > 0): each client executes
+// Measured ops drawn by Weight through the client's own Source — OCB's
+// probability-driven transaction stream. Give ops both a Count and a
+// Weight and the same Spec serves both modes; spec files flip between
+// them by setting "measured".
+//
+// A suite with its own transaction sampler can set Next instead of
+// weights: it returns the next op index and may stash the sampled
+// arguments in ctx.State (see core.Runner.PhaseSpec, which routes
+// SampleTransaction through Next so engine streams are bit-identical to
+// the paper protocol).
+//
+// # 4. What is shared, and who may write it?
+//
+// If your in-memory dictionaries are not concurrency-safe, set
+// Spec.Lock and mark the ops that restructure them Mutating: the engine
+// takes the lock shared for reads and exclusive for mutations, and lock
+// wait correctly counts toward the op's measured response time. Ops
+// whose layers synchronize internally (core's executor does its own
+// locking; plain Store calls are always safe) leave Lock nil.
+//
+// Per-client suite state (executors, precomputed inputs) goes in
+// NewClient; read it back via ctx.State. To keep CLIENTN=1 runs
+// bit-identical to a pre-engine implementation, hand client 0 the
+// database's own generation stream through Spec.Source and derive
+// streams for the rest (the convention is seed + client*104729).
+//
+// # Wiring it up
+//
+// Expose a `Scenario(policy, clients) *workload.Spec` constructor from
+// your suite package, add a preset builder in internal/scenarios (that
+// is what `ocb run -scenario <name>` and JSON spec files resolve
+// through), and pin two tests: a CLIENTN=1 golden against known metric
+// values, and a CLIENTN>1 run for the race detector. The engine's own
+// guarantees — merge order, skip accounting, pacing, zero-alloc measured
+// loop — are covered here and need no per-suite re-testing.

@@ -1,0 +1,43 @@
+package workload
+
+import "ocb/internal/backend"
+
+// SeenSet is a resettable membership set over OIDs. Membership is a
+// generation stamp per slot, so reset is a single counter bump — the
+// allocation-free replacement for the map[OID]bool a traversal would
+// otherwise build per operation. It is the scratch the core executor's
+// fast path introduced, hoisted here so every suite's ops share it
+// through the Ctx.
+type SeenSet struct {
+	gen   uint32
+	stamp []uint32
+}
+
+// Reset empties the set and ensures capacity for OIDs below n.
+func (s *SeenSet) Reset(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.gen = 0
+	}
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped: start a fresh epoch
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// Add inserts oid, reporting whether it was newly added.
+func (s *SeenSet) Add(oid backend.OID) bool {
+	if s.stamp[oid] == s.gen {
+		return false
+	}
+	s.stamp[oid] = s.gen
+	return true
+}
+
+// Has reports membership without inserting.
+func (s *SeenSet) Has(oid backend.OID) bool {
+	return int(oid) < len(s.stamp) && s.stamp[oid] == s.gen
+}
