@@ -198,6 +198,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Durable backends own files (ephemeral ones a scratch directory);
+	// release the store once the protocol is done.
+	defer db.Close()
 	st := db.Store.Stats()
 	if st.Pages > 0 {
 		fmt.Printf("generated in %s on backend %q: %d objects on %d pages\n\n",

@@ -78,6 +78,9 @@ func runScenario(args []string) error {
 	}
 	fmt.Println()
 
+	// The scenario owns its system under test; release it (files,
+	// scratch directories) once the run is done.
+	defer sc.Close()
 	results, err := sc.Run()
 	if err != nil {
 		return err

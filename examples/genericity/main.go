@@ -94,6 +94,11 @@ func main() {
 		if objects == otr.Objects {
 			fmt.Printf("  -> reproduces OO1's traversal shape exactly (paper §4.3)\n")
 		}
+		// The locality analysis below reads only the in-memory graph, so
+		// each row's store (files, for durable backends) can go now.
+		if err := db.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Println("\nsame visited-object signature on every backend, different I/O profile:")
 	fmt.Println("properly customized, the generic benchmark impersonates the specialized")

@@ -10,4 +10,5 @@ package all
 import (
 	_ "ocb/internal/backend/flatmem"
 	_ "ocb/internal/backend/paged"
+	_ "ocb/internal/backend/waldisk"
 )

@@ -153,6 +153,31 @@ type Checker interface {
 	CheckIntegrity() error
 }
 
+// Durable is the optional durability capability: backends whose state
+// lives on stable storage and survives the process. Close flushes all
+// committed state and releases the instance; Reopen constructs a fresh
+// instance over the same durable state, running whatever recovery the
+// driver needs (the receiver must have been closed first). Both require
+// the store to be quiescent. In-memory backends do not implement it; the
+// conformance durability section and the crash-recovery tests skip on
+// them.
+type Durable interface {
+	Close() error
+	Reopen() (Backend, error)
+}
+
+// Shutdown releases a backend that owns external resources: on Durable
+// backends it closes the instance (flushing, checkpointing and releasing
+// its files — an ephemeral store also removes its scratch directory);
+// on in-memory backends it is a no-op. Commands and experiments call it
+// when they are done with a store they opened.
+func Shutdown(b Backend) error {
+	if d, ok := b.(Durable); ok {
+		return d.Close()
+	}
+	return nil
+}
+
 // CheckIntegrity runs the backend's self-check when it has one; backends
 // without internal structure to audit pass vacuously.
 func CheckIntegrity(b Backend) error {

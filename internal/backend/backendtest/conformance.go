@@ -25,6 +25,7 @@ func Conformance(t *testing.T, open Opener) {
 	t.Run("StatsExactness", func(t *testing.T) { testStatsExactness(t, open(t)) })
 	t.Run("ResetStats", func(t *testing.T) { testResetStats(t, open(t)) })
 	t.Run("CommitAndDropCache", func(t *testing.T) { testCommitDrop(t, open(t)) })
+	t.Run("Durability", func(t *testing.T) { testDurability(t, open(t)) })
 }
 
 // populate creates n objects of the given payload size and returns their
@@ -315,6 +316,116 @@ func testCommitDrop(t *testing.T, b backend.Backend) {
 	}
 	if k, err := b.AccessBatch(oids); err != nil || k != len(oids) {
 		t.Fatalf("post-restart batch = %d, %v", k, err)
+	}
+}
+
+// testDurability is the capability-gated durability section: committed
+// state — the full object graph and the access/stats counters — must
+// survive a close and a reopen from the same durable storage. Backends
+// without the Durable capability (memory-resident stores) skip it.
+func testDurability(t *testing.T, b backend.Backend) {
+	d, ok := b.(backend.Durable)
+	if !ok {
+		t.Skip("backend state is memory-resident; nothing survives a close")
+	}
+	oids := populate(t, b, 30, 90)
+	for i, oid := range oids {
+		if i%2 == 0 {
+			if err := b.Access(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Update(oids[1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, victim := range []backend.OID{oids[7], oids[8]} {
+		if err := b.Delete(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	want := b.Stats()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rb, err := d.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	defer func() {
+		if rd, ok := rb.(backend.Durable); ok {
+			if err := rd.Close(); err != nil {
+				t.Errorf("closing reopened backend: %v", err)
+			}
+		}
+	}()
+	for i, oid := range oids {
+		alive := i != 7 && i != 8
+		if rb.Exists(oid) != alive {
+			t.Fatalf("object %d: Exists = %v after reopen, want %v", oid, !alive, alive)
+		}
+		if !alive {
+			continue
+		}
+		sz, ok := rb.SizeOf(oid)
+		if !ok || sz != 90+backend.ObjectHeaderSize {
+			t.Fatalf("object %d: SizeOf = %d, %v after reopen", oid, sz, ok)
+		}
+	}
+	st := rb.Stats()
+	if st.Objects != want.Objects {
+		t.Fatalf("Objects = %d after reopen, want %d", st.Objects, want.Objects)
+	}
+	if st.ObjectsAccessed != want.ObjectsAccessed {
+		t.Fatalf("ObjectsAccessed = %d after reopen, want %d", st.ObjectsAccessed, want.ObjectsAccessed)
+	}
+	// Recovered objects must be fully accessible, and the OID counter
+	// must continue where it left off (never recycling the deleted ones).
+	live := make([]backend.OID, 0, len(oids))
+	for i, oid := range oids {
+		if i != 7 && i != 8 {
+			live = append(live, oid)
+		}
+	}
+	if k, err := rb.AccessBatch(live); err != nil || k != len(live) {
+		t.Fatalf("post-reopen batch = %d, %v", k, err)
+	}
+	next, err := rb.Create(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != backend.OID(len(oids)+1) {
+		t.Fatalf("post-reopen Create issued OID %d, want %d", next, len(oids)+1)
+	}
+	// A second round proves the store keeps appending after recovery.
+	if err := rb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rd, ok := rb.(backend.Durable)
+	if !ok {
+		t.Fatal("Reopen returned a backend without the Durable capability")
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	rb2, err := rd.Reopen()
+	if err != nil {
+		t.Fatalf("second Reopen: %v", err)
+	}
+	defer func() {
+		if rd2, ok := rb2.(backend.Durable); ok {
+			rd2.Close()
+		}
+	}()
+	if !rb2.Exists(next) {
+		t.Fatalf("object %d created after recovery lost across second reopen", next)
+	}
+	if got := rb2.Stats().Objects; got != want.Objects+1 {
+		t.Fatalf("Objects = %d after second reopen, want %d", got, want.Objects+1)
 	}
 }
 

@@ -69,10 +69,55 @@
 //     transaction and clustering-overhead accounting classes.
 //   - Snapshotter/Restorer (Image/Restore): persistence of a generated
 //     database across processes (core.Database.Save / core.Load).
+//   - Durable (Close/Reopen): state on stable storage that survives the
+//     process. Implementing it opts the driver into the conformance
+//     suite's durability section and enables crash-recovery testing.
 //
 // Implement the capabilities whose semantics the store genuinely has;
 // never stub one (a Relocate that moves nothing would silently corrupt
 // every clustering experiment run against the driver).
+//
+// # Writing a durable driver
+//
+// A driver that owns real files (waldisk is the in-tree model) carries
+// contracts the in-memory drivers never face:
+//
+//   - Write-ahead logging. Stage mutations in memory and let Commit move
+//     them to the log as one batch ending in a commit marker. Replay on
+//     open must apply records strictly batch-wise: a batch is visible iff
+//     its marker is intact, so a crash can never surface a half-applied
+//     batch. (Commit is store-global by contract, so a concurrent
+//     client's commit hardens everything staged; document the resulting
+//     batch-level — not per-client — crash atomicity, as waldisk does.)
+//     Frame every record with a length + checksum so a torn write is
+//     detected, and physically truncate the discarded tail so later
+//     appends start from a known-good position.
+//
+//   - Fsync policy. Expose durability timing as an option rather than
+//     hard-coding it (waldisk: fsync=always | group | none). Group commit
+//     — a committer goroutine collapsing concurrent Commit calls into one
+//     append + fsync — is where multi-client throughput comes from. The
+//     policy must change timing only: identical workloads must leave
+//     identical contents under every policy.
+//
+//   - Recovery contract. Close flushes, fsyncs and (optionally) writes a
+//     checkpoint summarizing the log so the next open skips replay; the
+//     checkpoint is an optimization and must never be the only copy —
+//     validate it (magic, CRC) and fall back to full replay when it is
+//     missing or invalid. After a failed append the physical tail is
+//     unknown: refuse further mutations (sticky error) and let Reopen's
+//     recovery re-establish the committed prefix. Skip the checkpoint on
+//     such a close — the in-memory state is ahead of the committed log.
+//
+//   - Honest I/O. Fault committed objects in with real reads and charge
+//     them (verify the record checksum while at it); then the engine's
+//     I/O attribution reports true disk numbers. Keep the fault path
+//     allocation-free (pool the read buffers) — the AllocsPerRun gates
+//     run against every registered driver.
+//
+// Run the conformance suite plus fault-injection tests that cut the log
+// mid-record and mid-batch (waldisk's FailureHook shows the pattern), and
+// assert policy-invariance of final images across your fsync settings.
 //
 // # Options
 //

@@ -1,0 +1,387 @@
+package waldisk_test
+
+// Crash-recovery fault injection: the FailureHook writer wrapper cuts the
+// log mid-record and mid-group-commit, and reopening the directory must
+// surface exactly the fully-committed transactions — never a torn or
+// half-applied batch — with the store's own integrity audit and the
+// core-level CheckDatabase invariants intact.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ocb/internal/backend"
+	"ocb/internal/backend/waldisk"
+	"ocb/internal/core"
+	"ocb/internal/lewis"
+)
+
+// cutAfter returns a FailureHook that lets n bytes of the batch through
+// and then fails the append — a torn write at an arbitrary byte position.
+func cutAfter(n int) func([]byte) (int, error) {
+	return func(b []byte) (int, error) {
+		if n > len(b) {
+			n = len(b)
+		}
+		return n, errors.New("injected: power lost mid-append")
+	}
+}
+
+// reopen recovers the directory into a fresh store.
+func reopen(t *testing.T, dir string, opts map[string]string) *waldisk.Store {
+	t.Helper()
+	return openAt(t, dir, opts).(*waldisk.Store)
+}
+
+// TestCrashMidRecord cuts the append inside a record of the second
+// commit batch: recovery must keep the first batch whole, discard the
+// torn tail entirely, and resume issuing OIDs from the committed state.
+func TestCrashMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir, map[string]string{"fsync": "always"})
+	for i := 0; i < 10; i++ {
+		if _, err := s.Create(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Create(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FailureHook = cutAfter(10) // tear inside the first record of the batch
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit through a torn append reported success")
+	}
+	// The failure is sticky: the log's physical tail is unknown, so
+	// further mutations refuse until recovery.
+	if _, err := s.Create(64); err == nil {
+		t.Fatal("create accepted after a failed append")
+	}
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit accepted after a failed append")
+	}
+
+	r := reopen(t, dir, nil)
+	ri := r.Recovery()
+	if ri.TailBytesTruncated == 0 {
+		t.Fatalf("recovery truncated nothing; the tear was not on disk: %+v", ri)
+	}
+	if ri.BatchesReplayed != 1 || ri.RecordsReplayed != 10 {
+		t.Fatalf("recovery applied %d batches / %d records, want 1 / 10: %+v", ri.BatchesReplayed, ri.RecordsReplayed, ri)
+	}
+	if got := r.Stats().Objects; got != 10 {
+		t.Fatalf("recovered %d objects, want the 10 committed ones", got)
+	}
+	for oid := backend.OID(1); oid <= 10; oid++ {
+		if err := r.Access(oid); err != nil {
+			t.Fatalf("Access(%d): %v", oid, err)
+		}
+	}
+	for oid := backend.OID(11); oid <= 13; oid++ {
+		if r.Exists(oid) {
+			t.Fatalf("uncommitted object %d survived the crash", oid)
+		}
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// The uncommitted creates rolled back; the OID counter resumes from
+	// the committed prefix and appends land cleanly on the truncated log.
+	next, err := r.Create(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 11 {
+		t.Fatalf("post-recovery Create issued OID %d, want 11", next)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashMidGroupCommit stages transactions from several concurrent
+// clients so one group-commit batch carries them all, then cuts the
+// append just before the commit marker: every record of the batch is
+// intact on disk, but with the marker missing the whole group must be
+// discarded — group commit never shrinks the atomicity unit.
+func TestCrashMidGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir, map[string]string{"fsync": "group"})
+	for i := 0; i < 6; i++ {
+		if _, err := s.Create(32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage each client's transaction, then commit all concurrently
+	// through the committer goroutine with the marker cut off. The hook
+	// writes everything except the final marker frame (8 header + 9
+	// payload bytes), so all mutation records are complete on disk.
+	const clients = 4
+	for c := 0; c < clients; c++ {
+		if _, err := s.Create(32); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Update(backend.OID(c + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FailureHook = func(b []byte) (int, error) {
+		return len(b) - 17, errors.New("injected: power lost before the commit marker")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = s.Commit()
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err == nil {
+			t.Fatalf("client %d: commit through a torn group reported success", c)
+		}
+	}
+
+	r := reopen(t, dir, nil)
+	ri := r.Recovery()
+	if ri.TailRecordsDiscarded == 0 {
+		t.Fatalf("the complete-but-unmarked records were not discarded: %+v", ri)
+	}
+	if got := r.Stats().Objects; got != 6 {
+		t.Fatalf("recovered %d objects, want the 6 from the committed prefix", got)
+	}
+	for oid := backend.OID(7); oid <= 6+clients; oid++ {
+		if r.Exists(oid) {
+			t.Fatalf("object %d from the torn group survived", oid)
+		}
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDiscardsWholeTornBatch covers the mixed-op batch: creates,
+// updates and deletes staged together must all roll back when the batch
+// tears — a delete must not survive without its sibling create, or the
+// recovered store would be a state no commit ever produced.
+func TestCrashDiscardsWholeTornBatch(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir, map[string]string{"fsync": "none"})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Create(48); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(48); err != nil {
+		t.Fatal(err)
+	}
+	s.FailureHook = cutAfter(20)
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit through a torn append reported success")
+	}
+
+	r := reopen(t, dir, nil)
+	if !r.Exists(2) {
+		t.Fatal("uncommitted delete leaked through the crash")
+	}
+	if r.Exists(9) {
+		t.Fatal("uncommitted create leaked through the crash")
+	}
+	if got := r.Stats().Objects; got != 8 {
+		t.Fatalf("recovered %d objects, want 8", got)
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashAfterCheckpoint crashes in the first commit after a clean
+// close: recovery loads the checkpoint, replays nothing, and the torn
+// post-checkpoint tail is truncated.
+func TestCrashAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := reopen(t, dir, nil)
+	for i := 0; i < 12; i++ {
+		if _, err := s.Create(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, dir, nil)
+	if !s2.Recovery().FromCheckpoint {
+		t.Fatal("reopen ignored the checkpoint")
+	}
+	if _, err := s2.Create(64); err != nil {
+		t.Fatal(err)
+	}
+	s2.FailureHook = cutAfter(4)
+	if err := s2.Commit(); err == nil {
+		t.Fatal("commit through a torn append reported success")
+	}
+
+	r := reopen(t, dir, nil)
+	ri := r.Recovery()
+	if !ri.FromCheckpoint {
+		t.Fatal("recovery after the crash ignored the checkpoint")
+	}
+	if ri.TailBytesTruncated == 0 {
+		t.Fatal("the torn post-checkpoint tail was not truncated")
+	}
+	if got := r.Stats().Objects; got != 12 {
+		t.Fatalf("recovered %d objects, want 12", got)
+	}
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitWaitsForInflightFlush pins the durability contract of the
+// empty-staged fast path: when a concurrent commit's flush has already
+// swapped this client's staged ops out but not yet synced them, Commit
+// must block until that batch is durable instead of reporting success
+// early. The FailureHook doubles as a synchronization point — it runs
+// inside the flush window, after the swap and before the write.
+func TestCommitWaitsForInflightFlush(t *testing.T) {
+	s := reopen(t, t.TempDir(), map[string]string{"fsync": "always"})
+	if _, err := s.Create(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.FailureHook = func(b []byte) (int, error) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return 0, nil // proceed with the full write
+	}
+
+	// Client A stages a mutation; client B's commit takes it into a
+	// flush that stalls inside the hook.
+	if err := s.Update(1); err != nil {
+		t.Fatal(err)
+	}
+	bDone := make(chan error, 1)
+	go func() { bDone <- s.Commit() }()
+	<-entered
+
+	// A's staged list is empty now (B's flush took the op), but the
+	// batch is not durable: A's Commit must not return yet.
+	aDone := make(chan error, 1)
+	go func() { aDone <- s.Commit() }()
+	select {
+	case err := <-aDone:
+		t.Fatalf("Commit returned %v while its mutation was still in an unsynced flush", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-bDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryCheckDatabase is the core-level gate the issue names:
+// generate a real OCB database on waldisk, run committed transactions,
+// then tear the log during a later transaction's commit. The reopened
+// store bound back into the database must satisfy every CheckDatabase
+// invariant — the recovered object table agrees exactly with the object
+// graph at the last successful commit.
+func TestCrashRecoveryCheckDatabase(t *testing.T) {
+	dir := t.TempDir()
+	p := core.DefaultParams()
+	p.NO = 400
+	p.SupRef = 400
+	p.Backend = waldisk.Name
+	p.BackendOptions = map[string]string{"dir": dir, "fsync": "group"}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Store.(*waldisk.Store)
+	defer s.Close()
+	ex := core.NewExecutor(db, nil, lewis.New(7))
+
+	// A few committed transactions (traversals commit on completion).
+	for i := 0; i < 5; i++ {
+		if _, err := ex.Exec(core.Transaction{Type: core.SimpleTraversal, Root: backend.OID(i + 1), Depth: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The crash: the next transaction's commit tears mid-append.
+	s.FailureHook = cutAfter(6)
+	// Traversal transactions have nothing staged, so force a mutation
+	// into the torn commit.
+	if err := s.Update(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit through a torn append reported success")
+	}
+
+	if err := s.Close(); err == nil {
+		t.Fatal("closing a crash-failed store must surface the append failure")
+	}
+	rb, err := s.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rb.(*waldisk.Store)
+	defer r.Close()
+	if err := r.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bind the recovered store back into the database: the in-memory
+	// graph never saw a structural change, so every CheckDatabase
+	// invariant — live set, iterators, reference symmetry, store object
+	// count — must hold over the recovered state.
+	db.Store = r
+	if err := core.CheckDatabase(db); err != nil {
+		t.Fatalf("CheckDatabase after crash recovery: %v", err)
+	}
+	if got := r.Stats().Objects; got != p.NO {
+		t.Fatalf("recovered %d objects, want NO=%d", got, p.NO)
+	}
+}

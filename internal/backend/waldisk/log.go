@@ -1,0 +1,446 @@
+package waldisk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ocb/internal/backend"
+)
+
+// Log format. The log is a sequence of CRC-framed records across numbered
+// segment files (wal-00000001.log, wal-00000002.log, ...):
+//
+//	frame:   uint32 payload length | uint32 CRC-32C of payload | payload
+//	payload: op byte, then the op's fields, all little-endian:
+//	  create: oid uint64, size uint64 (header-included stored size)
+//	  update: oid uint64
+//	  delete: oid uint64
+//	  commit: sequence uint64
+//
+// Mutations are staged in memory and written only at commit: one batch is
+// the staged records followed by one commit marker, appended and fsynced
+// (per policy) as a unit. Replay applies records strictly batch-wise — a
+// batch is visible if and only if its commit marker is intact — so a
+// crash, a torn write or a lost tail can never surface a half-applied
+// transaction. A batch never spans segments: the log rolls before the
+// batch when the current segment is past its size threshold.
+const (
+	opCreate byte = 1
+	opUpdate byte = 2
+	opDelete byte = 3
+	opCommit byte = 4
+)
+
+const (
+	// frameHeader is the length+CRC prefix of every record.
+	frameHeader = 8
+	// maxPayload is the largest legal record payload (a create).
+	maxPayload = 17
+	// readBufSize fits any framed record, for pooled Access reads.
+	readBufSize = frameHeader + maxPayload
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadLen returns the op's payload length.
+func (o stagedOp) payloadLen() int {
+	if o.op == opCreate {
+		return 17
+	}
+	return 9
+}
+
+// frameLen returns the op's framed record length.
+func (o stagedOp) frameLen() int { return frameHeader + o.payloadLen() }
+
+// appendRecord frames a payload onto dst.
+func appendRecord(dst, payload []byte) []byte {
+	var h [frameHeader]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// appendOp encodes one staged op as a framed record onto dst.
+func appendOp(dst []byte, op stagedOp) []byte {
+	var p [maxPayload]byte
+	p[0] = op.op
+	binary.LittleEndian.PutUint64(p[1:9], uint64(op.oid))
+	if op.op == opCreate {
+		binary.LittleEndian.PutUint64(p[9:17], uint64(op.size))
+	}
+	return appendRecord(dst, p[:op.payloadLen()])
+}
+
+// appendCommit encodes a commit marker onto dst.
+func appendCommit(dst []byte, seq uint64) []byte {
+	var p [9]byte
+	p[0] = opCommit
+	binary.LittleEndian.PutUint64(p[1:9], seq)
+	return appendRecord(dst, p[:])
+}
+
+// validRecordFor checks a framed record read back from disk: intact
+// frame, matching CRC, a mutation op, and the expected object identity.
+func validRecordFor(buf []byte, oid backend.OID) bool {
+	plen := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if plen != len(buf)-frameHeader {
+		return false
+	}
+	payload := buf[frameHeader:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return false
+	}
+	if payload[0] != opCreate && payload[0] != opUpdate {
+		return false
+	}
+	return backend.OID(binary.LittleEndian.Uint64(payload[1:9])) == oid
+}
+
+// openSegments discovers and opens the directory's segment files,
+// requiring contiguous numbering from 1 (gaps mean a tampered directory).
+func (s *Store) openSegments() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("waldisk: reading data directory: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &id); err != nil || id <= 0 {
+			return fmt.Errorf("waldisk: unrecognized segment file %q", name)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		if id != i+1 {
+			return fmt.Errorf("waldisk: segment files not contiguous: found %s, want %s", segName(uint32(id)), segName(uint32(i+1)))
+		}
+		f, err := os.OpenFile(s.segPath(uint32(id)), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("waldisk: opening segment: %w", err)
+		}
+		s.segs = append(s.segs, f)
+	}
+	return nil
+}
+
+// addSegment creates the next segment file and installs it as the append
+// target. Called under logMu once the store is live; the segment table
+// mutation takes mu so concurrent readers stay safe.
+func (s *Store) addSegment() (*os.File, error) {
+	id := uint32(len(s.segs) + 1)
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("waldisk: creating segment: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.segs = append(s.segs, f)
+	s.mu.Unlock()
+	s.curOff = 0
+	return f, nil
+}
+
+// syncDir fsyncs the data directory so file creations and renames are
+// themselves durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("waldisk: syncing directory: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("waldisk: syncing directory: %w", err)
+	}
+	return nil
+}
+
+// replayRec is one decoded log record during recovery.
+type replayRec struct {
+	op   byte
+	oid  backend.OID
+	size int64
+	seg  uint32
+	off  int64
+	rlen int32
+}
+
+// recoverLog replays the segments from the given position, applying
+// records batch-wise at each commit marker. An uncommitted or torn tail
+// is discarded and physically truncated, and any segments past the tear
+// are deleted — reopening surfaces exactly the committed transactions.
+func (s *Store) recoverLog(startSeg uint32, startOff int64) error {
+	if startSeg == 0 {
+		startSeg = 1
+	}
+	staged := make([]replayRec, 0, 64)
+	torn := false
+	tornSeg := 0
+	for si := int(startSeg); si <= len(s.segs) && !torn; si++ {
+		f := s.segs[si-1]
+		fi, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("waldisk: sizing segment %d: %w", si, err)
+		}
+		size := fi.Size()
+		off := int64(0)
+		if uint32(si) == startSeg {
+			off = startOff
+		}
+		committedEnd := off
+		var hdr [frameHeader]byte
+		var payload [maxPayload]byte
+		for off < size {
+			if off+frameHeader > size {
+				torn = true
+				break
+			}
+			if _, err := f.ReadAt(hdr[:], off); err != nil {
+				return fmt.Errorf("waldisk: reading segment %d: %w", si, err)
+			}
+			plen := int(binary.LittleEndian.Uint32(hdr[0:4]))
+			if plen < 9 || plen > maxPayload || off+frameHeader+int64(plen) > size {
+				torn = true
+				break
+			}
+			if _, err := f.ReadAt(payload[:plen], off+frameHeader); err != nil {
+				return fmt.Errorf("waldisk: reading segment %d: %w", si, err)
+			}
+			if crc32.Checksum(payload[:plen], crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+				torn = true
+				break
+			}
+			rlen := int32(frameHeader + plen)
+			op := payload[0]
+			oid := backend.OID(binary.LittleEndian.Uint64(payload[1:9]))
+			switch {
+			case op == opCommit && plen == 9:
+				if seq := uint64(oid); seq > s.commitSeq {
+					s.commitSeq = seq
+				}
+				s.applyReplay(staged)
+				s.recovery.RecordsReplayed += len(staged)
+				s.recovery.BatchesReplayed++
+				staged = staged[:0]
+				committedEnd = off + int64(rlen)
+			case op == opCreate && plen == 17:
+				staged = append(staged, replayRec{
+					op: op, oid: oid,
+					size: int64(binary.LittleEndian.Uint64(payload[9:17])),
+					seg:  uint32(si), off: off, rlen: rlen,
+				})
+			case (op == opUpdate || op == opDelete) && plen == 9:
+				staged = append(staged, replayRec{op: op, oid: oid, seg: uint32(si), off: off, rlen: rlen})
+			default:
+				torn = true
+			}
+			if torn {
+				break
+			}
+			off += int64(rlen)
+		}
+		s.recovery.SegmentsScanned++
+		if torn || len(staged) > 0 {
+			// Everything past the last intact commit marker — torn bytes
+			// or complete records whose marker never made it — is an
+			// uncommitted tail: discard and truncate.
+			s.recovery.TailRecordsDiscarded += len(staged)
+			s.recovery.TailBytesTruncated += size - committedEnd
+			staged = staged[:0]
+			if err := f.Truncate(committedEnd); err != nil {
+				return fmt.Errorf("waldisk: truncating torn segment %d: %w", si, err)
+			}
+			torn = true
+			tornSeg = si
+		}
+	}
+	if torn {
+		// Segments past the tear are beyond the last committed state.
+		for si := tornSeg + 1; si <= len(s.segs); si++ {
+			f := s.segs[si-1]
+			if fi, err := f.Stat(); err == nil {
+				s.recovery.TailBytesTruncated += fi.Size()
+			}
+			f.Close()
+			if err := os.Remove(s.segPath(uint32(si))); err != nil {
+				return fmt.Errorf("waldisk: removing post-tear segment %d: %w", si, err)
+			}
+		}
+		s.segs = s.segs[:tornSeg]
+	}
+	return nil
+}
+
+// applyReplay applies one committed batch to the index.
+func (s *Store) applyReplay(recs []replayRec) {
+	for _, r := range recs {
+		switch r.op {
+		case opCreate:
+			s.index[r.oid] = entry{size: r.size, seg: r.seg, off: r.off, rlen: r.rlen}
+			if uint64(r.oid) >= s.next {
+				s.next = uint64(r.oid) + 1
+			}
+		case opUpdate:
+			if e, ok := s.index[r.oid]; ok {
+				e.seg, e.off, e.rlen = r.seg, r.off, r.rlen
+				s.index[r.oid] = e
+			}
+		case opDelete:
+			delete(s.index, r.oid)
+		}
+	}
+}
+
+// Checkpoint file. A clean Close serializes the whole index — the object
+// table with each object's record location — plus the OID counter, the
+// cumulative objects-accessed counter, the commit sequence and the log
+// position it covers, so the next Open skips replaying history the
+// checkpoint already summarizes. The file is written to a temporary name,
+// fsynced and renamed, and is CRC-protected: an invalid or missing
+// checkpoint simply falls back to full replay (segments are never
+// compacted away, so the log alone always suffices).
+const ckptName = "checkpoint.ocb"
+
+var ckptMagic = [8]byte{'O', 'C', 'B', 'W', 'A', 'L', '1', 0}
+
+// ckptEntrySize is the serialized size of one object-table entry:
+// oid u64, size u64, seg u32, off u64, rlen u32.
+const ckptEntrySize = 32
+
+// ckptPath returns the checkpoint file's full path.
+func (s *Store) ckptPath() string { return filepath.Join(s.dir, ckptName) }
+
+// writeCheckpoint captures the current (fully committed) state. Caller
+// holds logMu; the store must have no staged mutations.
+func (s *Store) writeCheckpoint() error {
+	s.mu.RLock()
+	if len(s.staged) != 0 {
+		s.mu.RUnlock()
+		return fmt.Errorf("waldisk: checkpoint with staged mutations")
+	}
+	oids := make([]backend.OID, 0, len(s.index))
+	for oid := range s.index {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	payload := make([]byte, 0, 44+ckptEntrySize*len(oids))
+	payload = binary.LittleEndian.AppendUint64(payload, s.next)
+	payload = binary.LittleEndian.AppendUint64(payload, s.objectsAccessed.Load())
+	payload = binary.LittleEndian.AppendUint64(payload, s.commitSeq)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(s.segs)))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(s.curOff))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(oids)))
+	for _, oid := range oids {
+		e := s.index[oid]
+		if e.seg == 0 {
+			s.mu.RUnlock()
+			return fmt.Errorf("waldisk: checkpoint found object %d without a durable record", oid)
+		}
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(oid))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(e.size))
+		payload = binary.LittleEndian.AppendUint32(payload, e.seg)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(e.off))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(e.rlen))
+	}
+	s.mu.RUnlock()
+
+	tmp := s.ckptPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("waldisk: writing checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, 16+len(payload)+4)
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("waldisk: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, s.ckptPath()); err != nil {
+		return fmt.Errorf("waldisk: installing checkpoint: %w", err)
+	}
+	return s.syncDir()
+}
+
+// loadCheckpoint loads the checkpoint if present and valid, filling the
+// index and counters and returning the position replay resumes from. On
+// any anomaly it leaves the store empty and reports a full replay from
+// the log's start — the checkpoint is an optimization, never the sole
+// copy of the data.
+func (s *Store) loadCheckpoint() (startSeg uint32, startOff int64) {
+	b, err := os.ReadFile(s.ckptPath())
+	if err != nil || len(b) < 16+4 {
+		return 1, 0
+	}
+	if [8]byte(b[0:8]) != ckptMagic {
+		return 1, 0
+	}
+	plen := binary.LittleEndian.Uint64(b[8:16])
+	if uint64(len(b)) != 16+plen+4 {
+		return 1, 0
+	}
+	payload := b[16 : 16+plen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[16+plen:]) {
+		return 1, 0
+	}
+	if len(payload) < 44 {
+		return 1, 0
+	}
+	next := binary.LittleEndian.Uint64(payload[0:8])
+	accessed := binary.LittleEndian.Uint64(payload[8:16])
+	seq := binary.LittleEndian.Uint64(payload[16:24])
+	lastSeg := binary.LittleEndian.Uint32(payload[24:28])
+	lastOff := int64(binary.LittleEndian.Uint64(payload[28:36]))
+	count := binary.LittleEndian.Uint64(payload[36:44])
+	if lastSeg == 0 || int(lastSeg) > len(s.segs) || uint64(len(payload)-44) != count*ckptEntrySize {
+		return 1, 0
+	}
+	idx := make(map[backend.OID]entry, count)
+	p := payload[44:]
+	for i := uint64(0); i < count; i++ {
+		oid := backend.OID(binary.LittleEndian.Uint64(p[0:8]))
+		e := entry{
+			size: int64(binary.LittleEndian.Uint64(p[8:16])),
+			seg:  binary.LittleEndian.Uint32(p[16:20]),
+			off:  int64(binary.LittleEndian.Uint64(p[20:28])),
+			rlen: int32(binary.LittleEndian.Uint32(p[28:32])),
+		}
+		if oid == backend.NilOID || e.seg == 0 || int(e.seg) > len(s.segs) || e.size <= 0 {
+			return 1, 0
+		}
+		idx[oid] = e
+		p = p[ckptEntrySize:]
+	}
+	s.index = idx
+	s.next = next
+	s.commitSeq = seq
+	s.objectsAccessed.Store(accessed)
+	s.recovery.FromCheckpoint = true
+	return lastSeg, lastOff
+}

@@ -1,0 +1,71 @@
+package waldisk_test
+
+// The ocbgen persistence path on waldisk: core.Database.Save captures the
+// driver's Image (which has no disk-page snapshot — the Config's fsync
+// and segsize knobs plus the object table are the whole durable state)
+// and core.Load replays it into a fresh store in its own directory.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"ocb/internal/backend"
+	"ocb/internal/backend/waldisk"
+	"ocb/internal/core"
+)
+
+func TestCoreSaveLoad(t *testing.T) {
+	p := core.DefaultParams()
+	p.NO = 300
+	p.SupRef = 300
+	p.Backend = waldisk.Name
+	p.BackendOptions = map[string]string{"dir": t.TempDir(), "fsync": "none"}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Store.(*waldisk.Store).Close()
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save on waldisk: %v", err)
+	}
+	loaded, err := core.Load(&buf)
+	if err != nil {
+		t.Fatalf("Load on waldisk: %v", err)
+	}
+	ls := loaded.Store.(*waldisk.Store)
+	defer ls.Close()
+	if ls.Dir() == db.Store.(*waldisk.Store).Dir() {
+		t.Fatal("loaded store aliases the original's data directory")
+	}
+	if got, want := loaded.Store.Stats().Objects, db.Store.Stats().Objects; got != want {
+		t.Fatalf("loaded store holds %d objects, want %d", got, want)
+	}
+	for oid := backend.OID(1); oid <= backend.OID(p.NO); oid++ {
+		ow, wok := db.Store.SizeOf(oid)
+		ol, lok := loaded.Store.SizeOf(oid)
+		if wok != lok || ow != ol {
+			t.Fatalf("object %d: size %d,%v loaded as %d,%v", oid, ow, wok, ol, lok)
+		}
+	}
+	if err := ls.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// The loaded store got no dir option, so it is ephemeral: Close
+	// removes its scratch directory and Reopen refuses.
+	dir := ls.Dir()
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("ephemeral scratch directory %s survived Close (err %v)", dir, err)
+	}
+	if _, err := ls.Reopen(); err == nil {
+		t.Fatal("Reopen of an ephemeral store accepted")
+	}
+}

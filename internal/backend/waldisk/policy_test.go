@@ -1,0 +1,89 @@
+package waldisk_test
+
+// The fsync-policy matrix: the policy knob trades durability latency for
+// throughput, but it must never change what a run computes. The ocb
+// scenario preset executed through the unified workload engine must leave
+// bit-identical final images under always, group and none, at CLIENTN 1
+// and 4 alike.
+
+import (
+	"fmt"
+	"testing"
+
+	"ocb/internal/backend"
+	"ocb/internal/backend/waldisk"
+	"ocb/internal/scenarios"
+)
+
+// imageDigest canonicalizes a backend's durable state: the OID counter
+// and every live object with its stored size.
+func imageDigest(t *testing.T, b backend.Backend) string {
+	t.Helper()
+	snap, ok := b.(backend.Snapshotter)
+	if !ok {
+		t.Fatal("backend lost Snapshotter")
+	}
+	img, err := snap.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fmt.Sprintf("next=%d n=%d\n", img.NextOID, len(img.Objects))
+	for _, o := range img.Objects {
+		d += fmt.Sprintf("%d:%d\n", o.OID, o.Size)
+	}
+	return d
+}
+
+// TestFsyncPolicyMatrix runs the ocb preset on waldisk under every fsync
+// policy at CLIENTN 1 and 4: policy may change timing, never contents.
+func TestFsyncPolicyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ocb scenario preset six times")
+	}
+	for _, clients := range []int{1, 4} {
+		t.Run(fmt.Sprintf("clients=%d", clients), func(t *testing.T) {
+			digests := make(map[string]string)
+			for _, pol := range []string{"always", "group", "none"} {
+				dir := t.TempDir()
+				sc, err := scenarios.Build("ocb", scenarios.Options{
+					Backend:        waldisk.Name,
+					BackendOptions: map[string]string{"dir": dir, "fsync": pol, "segsize": "65536"},
+					Quick:          true,
+					Clients:        clients,
+					Warmup:         30,
+					Measured:       80,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sc.Run(); err != nil {
+					t.Fatal(err)
+				}
+				b := sc.Phases[0].Spec.Backend
+				digests[pol] = imageDigest(t, b)
+				s := b.(*waldisk.Store)
+				if err := s.CheckIntegrity(); err != nil {
+					t.Fatalf("policy %s: %v", pol, err)
+				}
+				// The image must also be what a close + recovery yields.
+				if err := s.Close(); err != nil {
+					t.Fatalf("policy %s: close: %v", pol, err)
+				}
+				rb, err := s.Reopen()
+				if err != nil {
+					t.Fatalf("policy %s: reopen: %v", pol, err)
+				}
+				if got := imageDigest(t, rb); got != digests[pol] {
+					t.Fatalf("policy %s: recovered image differs from the live one", pol)
+				}
+				rb.(*waldisk.Store).Close()
+			}
+			if digests["group"] != digests["always"] {
+				t.Fatalf("group and always diverge at %d clients:\n%s\nvs\n%s", clients, digests["group"], digests["always"])
+			}
+			if digests["none"] != digests["always"] {
+				t.Fatalf("none and always diverge at %d clients:\n%s\nvs\n%s", clients, digests["none"], digests["always"])
+			}
+		})
+	}
+}

@@ -167,6 +167,12 @@ func MustGenerate(p Params) *Database {
 	return db
 }
 
+// Close releases the database's store: durable backends close their
+// files (an ephemeral store also removes its scratch directory), while
+// in-memory backends make this a no-op. Whoever generates or loads a
+// database owns closing it; the database is unusable afterwards.
+func (db *Database) Close() error { return backend.Shutdown(db.Store) }
+
 // Object returns the object with the given OID, or nil.
 func (db *Database) Object(oid backend.OID) *Object {
 	if oid == backend.NilOID || int(oid) >= len(db.Objects) {

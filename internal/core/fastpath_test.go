@@ -26,6 +26,9 @@ func TestTraversalFastPathAllocFree(t *testing.T) {
 			p.Backend = be
 			p.BufferPages = 2048 // resident: no eviction churn in the pool
 			db := MustGenerate(p)
+			// Durable backends hold files (ephemeral waldisk a scratch
+			// directory); release them when the subtest ends.
+			t.Cleanup(func() { _ = backend.Shutdown(db.Store) })
 			ex := NewExecutor(db, nil, lewis.New(1))
 			for _, tc := range []struct {
 				name string

@@ -32,6 +32,7 @@ func Policies(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("policies %s: %w", name, err)
 		}
+		defer backend.Shutdown(db.Store)
 		var policy cluster.Policy
 		switch name {
 		case "none":
@@ -79,6 +80,7 @@ func BufferSweep(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("buffer sweep %d: %w", b, err)
 		}
+		defer backend.Shutdown(db.Store)
 		if i == 0 && db.Store.Stats().Pages == 0 {
 			// A backend without a page cache ignores the frame budget;
 			// every row would measure the same nothing.
@@ -118,6 +120,7 @@ func MultiClient(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("multiclient %d: %w", cl, err)
 		}
+		defer backend.Shutdown(db.Store)
 		db.Store.DropCache()
 		r := core.NewRunner(db, nil)
 		m, err := r.RunPhase("clients", perClient, 31337+c.Seed)
@@ -150,6 +153,7 @@ func Reverse(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("reverse: %w", err)
 		}
+		defer backend.Shutdown(db.Store)
 		db.Store.DropCache()
 		r := core.NewRunner(db, nil)
 		m, err := r.RunPhase("dir", n, 555+c.Seed)
@@ -191,6 +195,7 @@ func DSTCSensitivity(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dstc sensitivity: %w", err)
 		}
+		defer backend.Shutdown(db.Store)
 		d := dstc.New(dstc.Params{
 			ObservationPeriod: cl.period,
 			Tfa:               cl.tfa,
@@ -228,6 +233,7 @@ func TypeBreakdown(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 	db.Store.DropCache()
 	r := core.NewRunner(db, nil)
 	m, err := r.RunPhase("types", n, 808+c.Seed)
@@ -270,6 +276,7 @@ func RootSkew(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("root skew %s: %w", spec, err)
 		}
+		defer backend.Shutdown(db.Store)
 		res, err := heldOut(db, clubDSTC(), obsN, measN, 3, 999331+c.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("root skew %s: %w", spec, err)
@@ -302,6 +309,7 @@ func GenericWorkload(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 	db.Store.DropCache()
 	r := core.NewRunner(db, nil)
 	m, err := r.RunPhase("generic", n, 1515+c.Seed)
@@ -342,6 +350,7 @@ func OO1Suite(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 	results, err := db.RunAll(nil)
 	if err != nil {
 		return nil, err
@@ -371,6 +380,7 @@ func HyperModelSuite(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 	results, err := db.RunAll(nil)
 	if err != nil {
 		return nil, err
@@ -401,6 +411,7 @@ func OO7Suite(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 	results, err := db.RunAll(nil)
 	if err != nil {
 		return nil, err
@@ -436,6 +447,7 @@ func GenericityCheck(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 	visited, err := oo1Signature(p, db)
 	if err != nil {
 		return nil, err

@@ -65,6 +65,10 @@ func Genericity(c Config) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("genericity %s: %w", name, err)
 		}
+		// Durable backends own files (an ephemeral waldisk holds a
+		// scratch directory); release every row's store — the error
+		// paths included — when the experiment returns.
+		defer db.Close()
 
 		visited, err := oo1Signature(p, db)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/club"
 	"ocb/internal/core"
 	"ocb/internal/dstc"
@@ -111,6 +112,7 @@ func Fig4(c Config) (*report.Table, error) {
 				if err != nil {
 					return nil, fmt.Errorf("fig4 NC=%d NO=%d: %w", nc, no, err)
 				}
+				defer backend.Shutdown(db.Store)
 				total += db.GenTime
 			}
 			row = append(row, fmt.Sprintf("%.4f", (total/time.Duration(runs)).Seconds()))
@@ -151,6 +153,7 @@ func Table4(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("table4 mimic: %w", err)
 	}
+	defer backend.Shutdown(db.Store)
 	obsN, measN := 200, 100
 	if c.Quick {
 		obsN, measN = 60, 30
@@ -177,6 +180,7 @@ func Table5(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("table5: %w", err)
 	}
+	defer backend.Shutdown(db.Store)
 	obsN, measN := 2000, 1000
 	if c.Quick {
 		obsN, measN = 400, 200

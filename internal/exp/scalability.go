@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/core"
 	"ocb/internal/report"
 )
@@ -26,6 +27,7 @@ func Scalability(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scalability: %w", err)
 	}
+	defer backend.Shutdown(db.Store)
 	res, err := core.RunScalability(db, core.ScalabilityOptions{
 		TxPerClient: txPerClient,
 		Think:       think,

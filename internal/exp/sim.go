@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ocb/internal/backend"
 	"ocb/internal/cluster"
 	"ocb/internal/core"
 	"ocb/internal/lewis"
@@ -29,6 +30,7 @@ func SimulatedTestbed(c Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer backend.Shutdown(db.Store)
 
 	capture := func(policy cluster.Policy, seed int64) ([]sim.Demand, error) {
 		db.Store.DropCache()

@@ -98,6 +98,18 @@ type PhaseResult struct {
 	Result       *workload.Result
 }
 
+// Close releases the scenario's system under test (every phase of a
+// build runs against the one backend it opened): durable drivers close
+// their files — an ephemeral store also removes its scratch directory —
+// while in-memory ones make this a no-op. Whoever builds a scenario owns
+// closing it once the runs are done.
+func (s *Scenario) Close() error {
+	if len(s.Phases) == 0 || s.Phases[0].Spec == nil {
+		return nil
+	}
+	return backend.Shutdown(s.Phases[0].Spec.Backend)
+}
+
 // Run executes every phase in order.
 func (s *Scenario) Run() ([]PhaseResult, error) {
 	var out []PhaseResult
@@ -357,6 +369,7 @@ func buildOO1(o Options) (*Scenario, error) {
 	}
 	spec := db.Scenario(nil, o.clients())
 	if err := applyMix(spec, o); err != nil {
+		_ = backend.Shutdown(db.Store)
 		return nil, err
 	}
 	return &Scenario{
@@ -386,6 +399,7 @@ func buildOO7(o Options) (*Scenario, error) {
 	}
 	spec := db.Scenario(nil, o.clients())
 	if err := applyMix(spec, o); err != nil {
+		_ = backend.Shutdown(db.Store)
 		return nil, err
 	}
 	return &Scenario{
@@ -414,6 +428,7 @@ func buildHyperModel(o Options) (*Scenario, error) {
 	}
 	spec := db.Scenario(nil, o.clients())
 	if err := applyMix(spec, o); err != nil {
+		_ = backend.Shutdown(db.Store)
 		return nil, err
 	}
 	return &Scenario{
