@@ -13,11 +13,14 @@
 //	ocb run -scenario oo1|oo7|hypermodel|dstc|ocb [flags]
 //	ocb run -scenario-file spec.json [flags]
 //	ocb scenarios
+//	ocb serve -addr host:port -backend paged [flags]
 //
 // `ocb run` executes a scenario preset — any of the benchmark suites, or
 // a user-authored JSON mix — through the unified workload engine and
 // prints one result table per phase (throughput, latency quantiles,
 // per-op breakdown, capability skips). `ocb scenarios` lists the presets.
+// `ocb serve` hosts any local backend on a TCP address so other ocb
+// processes can benchmark it via `-backend remote -backend-opt addr=...`.
 // Without a subcommand, ocb runs the classic flag-configured protocol.
 package main
 
@@ -51,6 +54,12 @@ func main() {
 		case "scenarios":
 			for _, name := range scenarios.List() {
 				fmt.Printf("%-11s %s\n", name, scenarios.Describe(name))
+			}
+			return
+		case "serve":
+			if err := serve(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ocb serve: %v\n", err)
+				os.Exit(1)
 			}
 			return
 		}

@@ -68,11 +68,13 @@ func main() {
 	}
 	fmt.Printf("OO1 traversal:                    %4d parts visited (depth 7, fan-out 3)\n\n", otr.Objects)
 
-	// OCB parameterized per Table 3, aimed at every registered backend:
-	// same generation seed, same traversal, per-backend I/O profile.
+	// OCB parameterized per Table 3, aimed at every local backend: same
+	// generation seed, same traversal, per-backend I/O profile. (The
+	// remote driver needs a served endpoint; `ocb-experiments compare`
+	// spins one up and adds that row.)
 	first := -1
 	var lastDB *core.Database
-	for _, name := range backend.List() {
+	for _, name := range backend.ListLocal() {
 		p := mimicParams()
 		p.Backend = name
 		db, err := core.Generate(p)

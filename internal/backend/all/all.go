@@ -10,5 +10,6 @@ package all
 import (
 	_ "ocb/internal/backend/flatmem"
 	_ "ocb/internal/backend/paged"
+	_ "ocb/internal/backend/remote"
 	_ "ocb/internal/backend/waldisk"
 )

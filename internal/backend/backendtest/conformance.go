@@ -85,6 +85,17 @@ func testLifecycle(t *testing.T, b backend.Backend) {
 	if sz, ok := b.SizeOf(zoid); !ok || sz != backend.ObjectHeaderSize {
 		t.Fatalf("SizeOf(zero payload) = %d, %v; want %d", sz, ok, backend.ObjectHeaderSize)
 	}
+
+	// Shutdown must be idempotent end-to-end: command defers routinely
+	// stack backend.Shutdown, core.Database.Close and scenarios'
+	// Scenario.Close on the same store, so a second (and third) Close must
+	// be a no-op — no panic, no error, no double scratch-directory
+	// removal on ephemeral durable stores.
+	for i := 1; i <= 3; i++ {
+		if err := backend.Shutdown(b); err != nil {
+			t.Fatalf("Shutdown #%d: %v (Close must be idempotent)", i, err)
+		}
+	}
 }
 
 // testSequentialOIDs pins the OID issuing rule the generation algorithms

@@ -119,6 +119,33 @@
 // mid-record and mid-batch (waldisk's FailureHook shows the pattern), and
 // assert policy-invariance of final images across your fsync settings.
 //
+// # Serving a backend over the network
+//
+// Any registered local driver can be hosted behind a TCP listener (`ocb
+// serve`, internal/wire) and measured through the "remote" driver
+// (internal/backend/remote, -backend-opt addr=host:port). The wire
+// protocol mirrors the core contract exactly — every Backend method has
+// an op code, AccessBatch stays one round trip, and the sentinel errors
+// above round-trip as status codes so errors.Is behaves identically
+// in-process and remote. Capabilities split into forwarded and degraded:
+//
+//   - Forwarded: IOClassifier and Checker relay to the hosted store when
+//     the Hello handshake reports it has them (a remote SetIOClass or
+//     CheckIntegrity runs server-side).
+//   - Degraded: Placer, Relocator, Resharder and Snapshotter/Restorer
+//     are not remoted — they are local-layout and local-file concerns,
+//     and a wire version would either ship whole images or lie about
+//     placement. Experiments needing them print their usual skip line.
+//   - Durable has client-side meaning: remote Close/Reopen cycles the
+//     connection pool while the served store keeps its state, so the
+//     conformance durability section passes against the server's
+//     survival, not a local file's.
+//
+// Remote drivers register with RegisterWith and Info{Remote: true},
+// which keeps them out of ListLocal() — the list every-backend sweeps
+// iterate — because they need a served endpoint to open; `ocb serve`
+// refuses to host one (no proxy chains).
+//
 // # Options
 //
 // Config's typed fields (PageSize, BufferPages, Policy, Shards) are

@@ -37,15 +37,34 @@ const DefaultName = "paged"
 // Opener constructs a backend from a configuration.
 type Opener func(cfg Config) (Backend, error)
 
+// Info describes a registered driver beyond its opener.
+type Info struct {
+	// Remote marks a driver that connects to a store hosted elsewhere
+	// instead of embedding one in-process. Such a driver needs endpoint
+	// options (an address) to open at all, so "every registered backend"
+	// sweeps either skip it (ListLocal) or provision an endpoint first.
+	Remote bool
+}
+
+type driver struct {
+	open Opener
+	info Info
+}
+
 var (
 	driversMu sync.RWMutex
-	drivers   = make(map[string]Opener)
+	drivers   = make(map[string]driver)
 )
 
 // Register makes a backend driver available under the given name, in the
 // manner of database/sql.Register. It panics on a duplicate or empty name
 // or a nil opener — driver registration bugs should fail loudly at init.
 func Register(name string, open Opener) {
+	RegisterWith(name, open, Info{})
+}
+
+// RegisterWith is Register carrying driver metadata.
+func RegisterWith(name string, open Opener, info Info) {
 	driversMu.Lock()
 	defer driversMu.Unlock()
 	if name == "" {
@@ -57,7 +76,15 @@ func Register(name string, open Opener) {
 	if _, dup := drivers[name]; dup {
 		panic("backend: Register called twice for " + name)
 	}
-	drivers[name] = open
+	drivers[name] = driver{open: open, info: info}
+}
+
+// InfoOf returns the registered driver's metadata (the zero Info for an
+// unknown name).
+func InfoOf(name string) Info {
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	return drivers[name].info
 }
 
 // Open constructs the named backend. An empty name selects "paged", the
@@ -68,12 +95,12 @@ func Open(name string, cfg Config) (Backend, error) {
 		name = DefaultName
 	}
 	driversMu.RLock()
-	open, ok := drivers[name]
+	d, ok := drivers[name]
 	driversMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("backend: unknown backend %q (registered: %s)", name, strings.Join(List(), ", "))
 	}
-	return open(cfg)
+	return d.open(cfg)
 }
 
 // List returns the registered driver names in sorted order.
@@ -83,6 +110,22 @@ func List() []string {
 	names := make([]string, 0, len(drivers))
 	for name := range drivers {
 		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ListLocal returns the registered drivers that embed their store
+// in-process — the set a sweep can open with nothing but a Config. Remote
+// drivers (which need a served endpoint) are excluded.
+func ListLocal() []string {
+	driversMu.RLock()
+	defer driversMu.RUnlock()
+	names := make([]string, 0, len(drivers))
+	for name, d := range drivers {
+		if !d.info.Remote {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names

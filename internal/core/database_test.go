@@ -261,3 +261,23 @@ func TestScaleIndex(t *testing.T) {
 		t.Fatal("degenerate ranges wrong")
 	}
 }
+
+// TestDatabaseCloseIdempotent pins the stacked-shutdown contract: command
+// paths routinely defer db.Close alongside a backend-level Shutdown over
+// the same store, so a repeated Close must be a clean no-op — including
+// on a durable backend that really closes files.
+func TestDatabaseCloseIdempotent(t *testing.T) {
+	p := smallParams()
+	p.Backend = "waldisk"
+	p.BackendOptions = map[string]string{"dir": t.TempDir()}
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v, want nil", err)
+	}
+}

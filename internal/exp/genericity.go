@@ -2,10 +2,13 @@ package exp
 
 import (
 	"fmt"
+	"net"
+	"sync"
 
 	"ocb/internal/backend"
 	"ocb/internal/core"
 	"ocb/internal/report"
+	"ocb/internal/wire"
 )
 
 // oo1Signature runs the OO1-shaped traversal — a depth-7 simple traversal
@@ -61,6 +64,21 @@ func Genericity(c Config) (*report.Table, error) {
 			// rows open their driver with its defaults.
 			p.BackendOptions = nil
 		}
+		rowName := name
+		if backend.InfoOf(name).Remote {
+			// A remote driver has no store of its own: spin up a loopback
+			// server hosting the default backend (same geometry as the
+			// in-process rows) and aim the row at it. The row then prices
+			// the wire — serialization and round trips on top of the
+			// hosted store's own faulting cost.
+			addr, stop, err := serveLoopback(p)
+			if err != nil {
+				return nil, fmt.Errorf("genericity %s: %w", name, err)
+			}
+			defer stop()
+			p.BackendOptions = map[string]string{"addr": addr}
+			rowName = fmt.Sprintf("%s(%s)", name, backend.DefaultName)
+		}
 		db, err := core.Generate(p)
 		if err != nil {
 			return nil, fmt.Errorf("genericity %s: %w", name, err)
@@ -101,10 +119,41 @@ func Genericity(c Config) (*report.Table, error) {
 			gain = report.F2(res.Gain)
 		}
 
-		t.AddRow(name, report.Int(visited), report.F1(m.Global.Objects.Mean()),
+		t.AddRow(rowName, report.Int(visited), report.F1(m.Global.Objects.Mean()),
 			report.F1(m.MeanIOsPerTx()), report.F1(m.Global.Response.Mean()), gain)
 	}
 	t.AddNote("identical workload seed per row; the visited-object signature is backend-invariant by construction")
 	t.AddNote("flatmem is the infinitely-fast-I/O control: zero I/Os isolate navigation cost from faulting cost")
+	t.AddNote("the remote row runs the hosted backend behind a loopback TCP server: its I/O and response columns include real serialization and round-trip cost")
 	return t, nil
+}
+
+// serveLoopback starts an in-process wire server on a loopback port,
+// hosting the default backend with the experiment's geometry, and
+// returns the address plus a stop function (idempotent) that drains the
+// server and releases the hosted store.
+func serveLoopback(p core.Params) (addr string, stop func(), err error) {
+	hosted, err := backend.Open(backend.DefaultName, backend.Config{
+		PageSize:    p.PageSize,
+		BufferPages: p.BufferPages,
+		Policy:      p.BufferPolicy,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = backend.Shutdown(hosted)
+		return "", nil, err
+	}
+	srv := wire.NewServer(hosted, backend.DefaultName, nil)
+	go func() { _ = srv.Serve(ln) }()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			srv.Shutdown()
+			_ = backend.Shutdown(hosted)
+		})
+	}
+	return ln.Addr().String(), stop, nil
 }

@@ -1,0 +1,119 @@
+package oo1
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"ocb/internal/workload"
+)
+
+// oo1Run captures everything observable about one CLIENTN=4 mixed run
+// that must be a pure function of the seed: each client's op stream, the
+// multiset of connection targets the inserts produced, and the final
+// database shape.
+type oo1Run struct {
+	ops     [][]string // per-client op labels in execution order
+	targets []int      // sorted To part ids of workload-created connections
+	parts   int        // final part count
+}
+
+// runMixed generates a fresh database, runs the scenario with the insert
+// op in the mix, and records the run. The returned database lets callers
+// probe post-run state (notably the generation stream).
+func runMixed(t *testing.T, clients, measured int) (oo1Run, *Database) {
+	t.Helper()
+	db, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := db.NumParts()
+	spec := db.Scenario(nil, clients)
+	spec.Measured = measured
+	byClient := make([][]string, clients)
+	for i := range spec.Ops {
+		run, name := spec.Ops[i].Run, spec.Ops[i].Name
+		spec.Ops[i].Run = func(ctx *workload.Ctx) (int, error) {
+			n, err := run(ctx)
+			label := name
+			// Reverse traversals walk In lists, which concurrent inserts
+			// grow permanently; their object counts are legitimately
+			// schedule-dependent, so pin the op name only.
+			if name != "reverse-traversal" {
+				label = fmt.Sprintf("%s:%d", name, n)
+			}
+			// Each slice is appended to only by its own client goroutine.
+			byClient[ctx.Client] = append(byClient[ctx.Client], label)
+			return n, err
+		}
+	}
+	if _, err := workload.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(db); err != nil {
+		t.Fatal(err)
+	}
+	var targets []int
+	for _, conn := range db.Conns {
+		if db.Parts[conn.From].ID > n0 {
+			to := db.Parts[conn.To].ID
+			if clients > 1 && to > n0 {
+				t.Fatalf("workload connection targets inserted part %d (snapshot is %d)", to, n0)
+			}
+			targets = append(targets, to)
+		}
+	}
+	sort.Ints(targets)
+	return oo1Run{ops: byClient, targets: targets, parts: db.NumParts()}, db
+}
+
+// TestClientN4MixDeterministic pins the determinism fix: with four
+// concurrent clients and inserts in the mix, two runs on the same seed
+// produce identical per-client op streams, identical insert-target
+// multisets and the same final part count — goroutine scheduling must not
+// leak into any draw.
+func TestClientN4MixDeterministic(t *testing.T) {
+	first, _ := runMixed(t, 4, 40)
+	second, _ := runMixed(t, 4, 40)
+	inserts := 0
+	for _, ops := range first.ops {
+		for _, label := range ops {
+			if strings.HasPrefix(label, "insert:") {
+				inserts++
+			}
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("mix ran no inserts; the test exercises nothing")
+	}
+	if !reflect.DeepEqual(first.ops, second.ops) {
+		t.Fatalf("per-client op streams differ between identical runs:\n run 1: %v\n run 2: %v",
+			first.ops, second.ops)
+	}
+	if !reflect.DeepEqual(first.targets, second.targets) {
+		t.Fatalf("insert connection targets differ between identical runs")
+	}
+	if first.parts != second.parts {
+		t.Fatalf("final part counts differ: %d vs %d", first.parts, second.parts)
+	}
+}
+
+// TestClientN4LeavesGenerationStreamUntouched is the regression the old
+// shared-stream insert path fails: a multi-client workload must not
+// consume the database's own generation stream, so its next draws equal
+// those of an identically generated database that ran no workload at all.
+func TestClientN4LeavesGenerationStreamUntouched(t *testing.T) {
+	_, ran := runMixed(t, 4, 40)
+	idle, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		want := idle.src.IntRange(1, 1<<20)
+		if got := ran.src.IntRange(1, 1<<20); got != want {
+			t.Fatalf("draw %d after the run: got %d, want %d — the workload consumed db.src", i, got, want)
+		}
+	}
+}

@@ -207,9 +207,14 @@ func (db *Database) newPart() (*Part, error) {
 }
 
 // connect creates one connection from the given part to a target drawn by
-// the reference-zone rule.
+// the reference-zone rule over the live database.
 func (db *Database) connect(from *Part) (*Connection, error) {
-	targetID := db.drawTarget(from.ID)
+	return db.connectTo(from, db.drawTarget(from.ID))
+}
+
+// connectTo creates one connection from the given part to the part with
+// the given dictionary id.
+func (db *Database) connectTo(from *Part, targetID int) (*Connection, error) {
 	target := db.Parts[db.ByID[targetID]]
 	oid, err := db.Store.Create(db.P.ConnSize)
 	if err != nil {
@@ -222,20 +227,28 @@ func (db *Database) connect(from *Part) (*Connection, error) {
 	return conn, nil
 }
 
-// drawTarget applies OO1's locality rule for a connection leaving part id.
-func (db *Database) drawTarget(id int) int {
+// drawTargetFrom applies OO1's locality rule over the first n part ids,
+// drawing from src: a Bernoulli(PLocal) trial picks the reference zone
+// around center (clamped to [1, n]), otherwise uniform over [1, n].
+func (db *Database) drawTargetFrom(src *lewis.Source, center, n int) int {
 	p := db.P
-	if db.src.Bernoulli(p.PLocal) {
-		lo, hi := id-p.RefZone, id+p.RefZone
+	if src.Bernoulli(p.PLocal) {
+		lo, hi := center-p.RefZone, center+p.RefZone
 		if lo < 1 {
 			lo = 1
 		}
-		if hi > db.NumParts() {
-			hi = db.NumParts()
+		if hi > n {
+			hi = n
 		}
-		return db.src.IntRange(lo, hi)
+		return src.IntRange(lo, hi)
 	}
-	return db.src.IntRange(1, db.NumParts())
+	return src.IntRange(1, n)
+}
+
+// drawTarget is drawTargetFrom over the live part count and the
+// database's own generation stream.
+func (db *Database) drawTarget(id int) int {
+	return db.drawTargetFrom(db.src, id, db.NumParts())
 }
 
 // NumParts returns the current part count.
@@ -248,12 +261,13 @@ type OpResult struct {
 	Duration time.Duration
 }
 
-// lookupOnce is the lookup op body: access p.Lookups randomly selected
-// parts, roots drawn from src (the executing client's source).
-func (db *Database) lookupOnce(src *lewis.Source, policy cluster.Policy) (int, error) {
+// lookupOnce is the lookup op body: access p.Lookups parts selected at
+// random over the first bound dictionary ids, drawn from src (the
+// executing client's source).
+func (db *Database) lookupOnce(src *lewis.Source, bound int, policy cluster.Policy) (int, error) {
 	n := 0
 	for i := 0; i < db.P.Lookups; i++ {
-		oid := db.ByID[src.IntRange(1, db.NumParts())]
+		oid := db.ByID[src.IntRange(1, bound)]
 		if err := db.Store.Access(oid); err != nil {
 			return n, err
 		}
@@ -270,7 +284,7 @@ func (db *Database) lookupOnce(src *lewis.Source, policy cluster.Policy) (int, e
 // proper runs through the workload engine via Scenario/RunAll.)
 func (db *Database) Lookup(policy cluster.Policy) (OpResult, error) {
 	return db.measure(policy, func() (int, error) {
-		return db.lookupOnce(db.src, policy)
+		return db.lookupOnce(db.src, db.NumParts(), policy)
 	})
 }
 
@@ -343,9 +357,15 @@ func (db *Database) TraversalFrom(policy cluster.Policy, root backend.OID, rever
 }
 
 // insertOnce is the insert op body: add p.Inserts parts and their
-// connections, then commit the changes. Targets are drawn from the
-// database's own generation stream (callers serialize insertions).
-func (db *Database) insertOnce() (int, error) {
+// connections, then commit the changes. src is the inserting client's
+// stream. n0 > 0 freezes the target universe to the first n0 parts (the
+// scenario-build snapshot) and zones around a center drawn from src, so
+// every draw is a pure function of the client's private stream and
+// concurrent clients insert schedule-independently. n0 == 0 is live
+// mode: targets zone around the new part's own id over the current part
+// count, replaying the pre-engine benchmark draw for draw. Callers
+// serialize insertions either way.
+func (db *Database) insertOnce(src *lewis.Source, n0 int) (int, error) {
 	n := 0
 	for i := 0; i < db.P.Inserts; i++ {
 		part, err := db.newPart()
@@ -354,7 +374,12 @@ func (db *Database) insertOnce() (int, error) {
 		}
 		n++
 		for c := 0; c < db.P.ConnsPerPart; c++ {
-			if _, err := db.connect(part); err != nil {
+			center, bound := part.ID, db.NumParts()
+			if n0 > 0 {
+				bound = n0
+				center = src.IntRange(1, n0)
+			}
+			if _, err := db.connectTo(part, db.drawTargetFrom(src, center, bound)); err != nil {
 				return n, err
 			}
 			n++
@@ -366,7 +391,9 @@ func (db *Database) insertOnce() (int, error) {
 // Insert performs one OO1 insert run: add p.Inserts parts and their
 // connections, then commit the changes.
 func (db *Database) Insert(policy cluster.Policy) (OpResult, error) {
-	return db.measure(policy, db.insertOnce)
+	return db.measure(policy, func() (int, error) {
+		return db.insertOnce(db.src, 0)
+	})
 }
 
 // measure wraps an operation with I/O and wall-clock accounting, then
@@ -400,11 +427,15 @@ type BenchResult struct {
 // Scenario expresses the OO1 benchmark as a unified workload-engine spec:
 // the four operations (lookup, traversal, reverse traversal, insert) each
 // NRuns times in fixed-program mode, or as a weighted mix when the caller
-// sets Measured. Client 0 continues the database's own generation stream,
-// so CLIENTN=1 runs replay exactly the pre-engine benchmark; extra
-// clients get derived streams. The suite's in-memory dictionaries are not
-// concurrency-safe, so the spec carries a lock the engine takes around
-// every op (shared for reads, exclusive for inserts).
+// sets Measured. A single client continues the database's own generation
+// stream, so CLIENTN=1 runs replay exactly the pre-engine benchmark; a
+// multi-client run gives every client seed-derived private streams — one
+// for op sampling and reads, one for inserts — and freezes the draw
+// universe at the scenario-build part count, so each client's operation
+// stream is a pure function of its seed regardless of scheduling. The
+// suite's in-memory dictionaries are not concurrency-safe, so the spec
+// carries a lock the engine takes around every op (shared for reads,
+// exclusive for inserts).
 func (db *Database) Scenario(policy cluster.Policy, clients int) *workload.Spec {
 	if clients > 1 && policy != nil {
 		policy = cluster.Synchronize(policy)
@@ -415,21 +446,50 @@ func (db *Database) Scenario(policy cluster.Policy, clients int) *workload.Spec 
 		}
 		return n, err
 	}
+	// n0 freezes the read-root and insert-target universe at the
+	// scenario-build part count when several clients run: draws become
+	// pure functions of each client's private stream, independent of how
+	// concurrent inserts interleave. A single client keeps the live count
+	// (and the pre-engine replay).
+	n0 := 0
+	if clients > 1 {
+		n0 = db.NumParts()
+	}
+	span := func() int {
+		if n0 > 0 {
+			return n0
+		}
+		return db.NumParts()
+	}
+	// ins are the per-client insert streams. Insert draws cannot ride the
+	// op-sampling streams — the engine samples ctx.Src outside the lock,
+	// so sharing it with bodies drawing under the lock would race — and
+	// they cannot share db.src across clients, or the op stream each
+	// client sees would depend on the others' schedules. Client 0 of a
+	// single-client run continues the generation stream instead, so
+	// CLIENTN=1 goldens replay the pre-engine benchmark bit for bit.
+	ins := make([]*lewis.Source, max(clients, 1))
+	for c := range ins {
+		ins[c] = lewis.New(db.P.Seed + 15485863 + int64(c)*104729)
+	}
+	if clients <= 1 {
+		ins[0] = db.src
+	}
 	nruns := db.P.NRuns
 	ops := []workload.Op{
 		{Name: "lookup", Weight: 1, Count: nruns, Run: func(ctx *workload.Ctx) (int, error) {
-			return end(db.lookupOnce(ctx.Src, policy))
+			return end(db.lookupOnce(ctx.Src, span(), policy))
 		}},
 		{Name: "traversal", Weight: 1, Count: nruns, Run: func(ctx *workload.Ctx) (int, error) {
-			root := db.ByID[ctx.Src.IntRange(1, db.NumParts())]
+			root := db.ByID[ctx.Src.IntRange(1, span())]
 			return end(db.traverseFrom(policy, root, false))
 		}},
 		{Name: "reverse-traversal", Weight: 1, Count: nruns, Run: func(ctx *workload.Ctx) (int, error) {
-			root := db.ByID[ctx.Src.IntRange(1, db.NumParts())]
+			root := db.ByID[ctx.Src.IntRange(1, span())]
 			return end(db.traverseFrom(policy, root, true))
 		}},
 		{Name: "insert", Weight: 1, Count: nruns, Mutating: true, Run: func(ctx *workload.Ctx) (int, error) {
-			return end(db.insertOnce())
+			return end(db.insertOnce(ins[ctx.Client], n0))
 		}},
 	}
 	return &workload.Spec{

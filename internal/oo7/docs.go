@@ -11,9 +11,10 @@ import (
 // is the join between documents and atomic parts.
 
 // t8Body scans the documentation of one random composite part (the
-// document object is up to DocSize bytes, typically spanning pages).
-func (db *Database) t8Body(src *lewis.Source, policy cluster.Policy) (int, error) {
-	comp := db.Comps[src.Intn(len(db.Comps))]
+// document object is up to DocSize bytes, typically spanning pages),
+// drawn over the first nComp library ids.
+func (db *Database) t8Body(src *lewis.Source, nComp int, policy cluster.Policy) (int, error) {
+	comp := db.Comps[src.Intn(nComp)]
 	if comp == nil {
 		return 0, nil
 	}
@@ -26,7 +27,7 @@ func (db *Database) t8Body(src *lewis.Source, policy cluster.Policy) (int, error
 // T8 scans the documentation of one random composite part.
 func (db *Database) T8(policy cluster.Policy) (OpResult, error) {
 	return db.measure("T8", policy, func() (int, error) {
-		return db.t8Body(db.src, policy)
+		return db.t8Body(db.src, len(db.Comps), policy)
 	})
 }
 

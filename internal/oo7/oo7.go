@@ -199,7 +199,7 @@ func Generate(p Params) (*Database, error) {
 	}
 
 	for i := 0; i < p.NumComp; i++ {
-		if _, err := db.newComposite(); err != nil {
+		if _, err := db.newComposite(db.src); err != nil {
 			return nil, err
 		}
 	}
@@ -221,10 +221,12 @@ func Generate(p Params) (*Database, error) {
 }
 
 // newComposite creates one composite part: atomic graph, connections,
-// document.
-func (db *Database) newComposite() (*CompositePart, error) {
+// document. Every draw comes from src over a fixed-size range (the date
+// domain, the new composite's own atomics), so a composite's shape is a
+// pure function of the stream that built it.
+func (db *Database) newComposite(src *lewis.Source) (*CompositePart, error) {
 	p := db.P
-	comp := &CompositePart{ID: len(db.Comps), BuildDate: db.src.Intn(p.DateRange)}
+	comp := &CompositePart{ID: len(db.Comps), BuildDate: src.Intn(p.DateRange)}
 
 	oid, err := db.Store.Create(p.CompSize)
 	if err != nil {
@@ -241,7 +243,7 @@ func (db *Database) newComposite() (*CompositePart, error) {
 		a := &AtomicPart{
 			OID:       aoid,
 			ID:        len(db.AtomicID),
-			BuildDate: db.src.Intn(p.DateRange),
+			BuildDate: src.Intn(p.DateRange),
 			Comp:      comp.ID,
 		}
 		db.Atomics[aoid] = a
@@ -252,7 +254,7 @@ func (db *Database) newComposite() (*CompositePart, error) {
 	comp.Root = atomics[0].OID
 	for _, a := range atomics {
 		for c := 0; c < p.ConnPerAtomic; c++ {
-			target := atomics[db.src.Intn(len(atomics))]
+			target := atomics[src.Intn(len(atomics))]
 			coid, err := db.Store.Create(p.ConnSize)
 			if err != nil {
 				return nil, fmt.Errorf("oo7: connection: %w", err)
@@ -485,12 +487,13 @@ func (db *Database) T6(policy cluster.Policy) (OpResult, error) {
 	return db.traversal("T6", 0, true, policy)
 }
 
-// q1Body looks up 10 random atomic parts by id. Ids whose atomic was
-// structurally deleted miss (the dictionary keeps dense ids).
-func (db *Database) q1Body(src *lewis.Source, policy cluster.Policy) (int, error) {
+// q1Body looks up 10 random atomic parts by id, drawn over the first
+// nAtomic dense ids. Ids whose atomic was structurally deleted miss (the
+// dictionary keeps dense ids).
+func (db *Database) q1Body(src *lewis.Source, nAtomic int, policy cluster.Policy) (int, error) {
 	n := 0
 	for i := 0; i < 10; i++ {
-		oid := db.AtomicID[src.Intn(len(db.AtomicID))]
+		oid := db.AtomicID[src.Intn(nAtomic)]
 		if db.Atomics[oid] == nil {
 			continue
 		}
@@ -505,7 +508,7 @@ func (db *Database) q1Body(src *lewis.Source, policy cluster.Policy) (int, error
 // Q1 looks up 10 random atomic parts by id.
 func (db *Database) Q1(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q1", policy, func() (int, error) {
-		return db.q1Body(db.src, policy)
+		return db.q1Body(db.src, len(db.AtomicID), policy)
 	})
 }
 
@@ -547,11 +550,11 @@ func (db *Database) Q3(policy cluster.Policy) (OpResult, error) {
 }
 
 // q4Body fetches 10 random documents by title and the root atomic part
-// of each owning composite.
-func (db *Database) q4Body(src *lewis.Source, policy cluster.Policy) (int, error) {
+// of each owning composite, drawn over the first nComp library ids.
+func (db *Database) q4Body(src *lewis.Source, nComp int, policy cluster.Policy) (int, error) {
 	n := 0
 	for i := 0; i < 10; i++ {
-		comp := db.Comps[src.Intn(len(db.Comps))]
+		comp := db.Comps[src.Intn(nComp)]
 		if comp == nil { // structurally deleted composite: the lookup misses
 			continue
 		}
@@ -570,7 +573,7 @@ func (db *Database) q4Body(src *lewis.Source, policy cluster.Policy) (int, error
 // each owning composite.
 func (db *Database) Q4(policy cluster.Policy) (OpResult, error) {
 	return db.measure("Q4", policy, func() (int, error) {
-		return db.q4Body(db.src, policy)
+		return db.q4Body(db.src, len(db.Comps), policy)
 	})
 }
 
@@ -627,18 +630,19 @@ func (db *Database) Q7(policy cluster.Policy) (OpResult, error) {
 }
 
 // insertBody creates count new composite parts and wires each into ten
-// random base assemblies, then commits. Targets are drawn from the
-// database's own generation stream (callers serialize insertions).
-func (db *Database) insertBody(count int) (ids []int, n int, err error) {
+// random base assemblies, then commits. All draws come from src; the
+// base-assembly set is fixed at generation, so with a private stream the
+// insertion is schedule-independent (callers serialize insertions).
+func (db *Database) insertBody(src *lewis.Source, count int) (ids []int, n int, err error) {
 	for i := 0; i < count; i++ {
-		comp, err := db.newComposite()
+		comp, err := db.newComposite(src)
 		if err != nil {
 			return ids, n, err
 		}
 		ids = append(ids, comp.ID)
 		n += 1 + len(comp.Atomics) + len(comp.Atomics)*db.P.ConnPerAtomic + 1
 		for k := 0; k < 10 && k < len(db.BaseAssm); k++ {
-			boid := db.BaseAssm[db.src.Intn(len(db.BaseAssm))]
+			boid := db.BaseAssm[src.Intn(len(db.BaseAssm))]
 			b := db.Assms[boid]
 			b.Comps = append(b.Comps, comp.OID)
 			comp.UsedBy = append(comp.UsedBy, boid)
@@ -657,7 +661,7 @@ func (db *Database) Insert(count int, policy cluster.Policy) ([]int, OpResult, e
 	res, err := db.measure("Insert", policy, func() (int, error) {
 		var n int
 		var err error
-		ids, n, err = db.insertBody(count)
+		ids, n, err = db.insertBody(db.src, count)
 		return n, err
 	})
 	return ids, res, err
@@ -736,20 +740,23 @@ type oo7OpDef struct {
 }
 
 // readOpDefs lists the classic benchmark sweep (traversals and queries)
-// in benchmark order.
-func (db *Database) readOpDefs(policy cluster.Policy) []oo7OpDef {
+// in benchmark order. atomicSpan and compSpan bound the random-id draws
+// of Q1 and T8/Q4: the live dictionary lengths for a single client, the
+// scenario-build snapshot when several clients run (so a client's draws
+// do not depend on how the others' inserts interleave).
+func (db *Database) readOpDefs(policy cluster.Policy, atomicSpan, compSpan func() int) []oo7OpDef {
 	return []oo7OpDef{
 		{"T1", false, func(*lewis.Source) (int, error) { return db.traversalBody(0, false, policy) }},
 		{"T2a", true, func(*lewis.Source) (int, error) { return db.traversalBody(1, false, policy) }},
 		{"T2b", true, func(*lewis.Source) (int, error) { return db.traversalBody(-1, false, policy) }},
 		{"T3a", true, func(*lewis.Source) (int, error) { return db.traversalBody(1, false, policy) }},
 		{"T6", false, func(*lewis.Source) (int, error) { return db.traversalBody(0, true, policy) }},
-		{"T8", false, func(src *lewis.Source) (int, error) { return db.t8Body(src, policy) }},
+		{"T8", false, func(src *lewis.Source) (int, error) { return db.t8Body(src, compSpan(), policy) }},
 		{"T9", false, func(*lewis.Source) (int, error) { return db.t9Body(policy) }},
-		{"Q1", false, func(src *lewis.Source) (int, error) { return db.q1Body(src, policy) }},
+		{"Q1", false, func(src *lewis.Source) (int, error) { return db.q1Body(src, atomicSpan(), policy) }},
 		{"Q2", false, func(src *lewis.Source) (int, error) { return db.rangeBody(0.01, src, policy) }},
 		{"Q3", false, func(src *lewis.Source) (int, error) { return db.rangeBody(0.10, src, policy) }},
-		{"Q4", false, func(src *lewis.Source) (int, error) { return db.q4Body(src, policy) }},
+		{"Q4", false, func(src *lewis.Source) (int, error) { return db.q4Body(src, compSpan(), policy) }},
 		{"Q5", false, func(*lewis.Source) (int, error) { return db.q5Body(policy) }},
 		{"Q7", false, func(*lewis.Source) (int, error) { return db.q7Body(policy) }},
 		{"Q8", false, func(*lewis.Source) (int, error) { return db.q8Body(policy) }},
@@ -769,8 +776,31 @@ func (db *Database) scenario(policy cluster.Policy, clients int, includeStructur
 		}
 		return n, err
 	}
+	// With several clients, freeze the Q1/T8/Q4 draw universes at the
+	// scenario-build dictionary sizes; a single client draws over the
+	// live lengths (the pre-engine replay).
+	atomicSpan := func() int { return len(db.AtomicID) }
+	compSpan := func() int { return len(db.Comps) }
+	if clients > 1 {
+		nAtomic0, nComp0 := len(db.AtomicID), len(db.Comps)
+		atomicSpan = func() int { return nAtomic0 }
+		compSpan = func() int { return nComp0 }
+	}
+	// ins are the per-client insert streams (see the oo1 scenario for the
+	// full rationale): insert draws cannot ride ctx.Src, which the engine
+	// samples outside the lock, and cannot share db.src across clients
+	// without making each client's stream depend on the others' schedules.
+	// A single client's stream is db.src itself, preserving the CLIENTN=1
+	// replay.
+	ins := make([]*lewis.Source, max(clients, 1))
+	for c := range ins {
+		ins[c] = lewis.New(db.P.Seed + 15485863 + int64(c)*104729)
+	}
+	if clients <= 1 {
+		ins[0] = db.src
+	}
 	var ops []workload.Op
-	for _, d := range db.readOpDefs(policy) {
+	for _, d := range db.readOpDefs(policy, atomicSpan, compSpan) {
 		body := d.body
 		ops = append(ops, workload.Op{
 			Name:     d.name,
@@ -791,7 +821,7 @@ func (db *Database) scenario(policy cluster.Policy, clients int, includeStructur
 				// composite wired into the hierarchy, then removed —
 				// safe to interleave with other clients' traversals
 				// under the spec's exclusive lock.
-				ids, n, err := db.insertBody(1)
+				ids, n, err := db.insertBody(ins[ctx.Client], 1)
 				if err != nil {
 					return n, err
 				}
@@ -824,8 +854,13 @@ func (db *Database) scenario(policy cluster.Policy, clients int, includeStructur
 // Scenario expresses the OO7 benchmark as a unified workload-engine spec:
 // the fourteen read operations plus an insert+delete structural round
 // trip, once each in fixed-program mode or as a weighted mix when the
-// caller sets Measured. Client 0 continues the database's own generation
-// stream, so CLIENTN=1 runs replay the pre-engine benchmark exactly.
+// caller sets Measured. A single client continues the database's own
+// generation stream, so CLIENTN=1 runs replay the pre-engine benchmark
+// exactly; a multi-client run gives every client seed-derived private
+// streams (op sampling and inserts) and freezes the Q1/T8/Q4 draw
+// universes at the scenario-build dictionary sizes, so each client's
+// operation stream is a pure function of its seed regardless of
+// scheduling.
 func (db *Database) Scenario(policy cluster.Policy, clients int) *workload.Spec {
 	return db.scenario(policy, clients, true)
 }

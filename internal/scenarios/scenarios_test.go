@@ -229,3 +229,27 @@ func TestExampleSpecFilesLoad(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioCloseIdempotent pins the stacked-shutdown contract from the
+// command side: `ocb run` defers both the scenario's Close and a
+// backend-level shutdown over the same store, so a repeated Close must be
+// a clean no-op — including on a durable backend that really closes files.
+func TestScenarioCloseIdempotent(t *testing.T) {
+	sc, err := Build("oo1", Options{
+		Backend:        "waldisk",
+		BackendOptions: map[string]string{"dir": t.TempDir()},
+		Quick:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatalf("second Close: %v, want nil", err)
+	}
+}

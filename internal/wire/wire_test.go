@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ocb/internal/backend"
+	"ocb/internal/buffer"
+	"ocb/internal/disk"
+)
+
+// TestFrameRoundTrip drives every field type through a Buf and back
+// through a Reader.
+func TestFrameRoundTrip(t *testing.T) {
+	var f Buf
+	f.Start(OpAccessBatch)
+	f.U8(7)
+	f.U32(0xdeadbeef)
+	f.U64(1 << 40)
+	f.I64(-5)
+	f.Str("paged")
+	oids := []backend.OID{1, 2, 99, 1 << 33}
+	f.OIDs(oids)
+
+	var w bytes.Buffer
+	if err := f.Send(&w); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, _, err := ReadFrame(&w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != OpAccessBatch {
+		t.Fatalf("tag = %d", tag)
+	}
+	r := NewReader(payload)
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -5 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if s := r.Str(); s != "paged" {
+		t.Fatalf("Str = %q", s)
+	}
+	got := r.OIDs(nil)
+	if len(got) != len(oids) {
+		t.Fatalf("OIDs = %v", got)
+	}
+	for i := range oids {
+		if got[i] != oids[i] {
+			t.Fatalf("OIDs[%d] = %d, want %d", i, got[i], oids[i])
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rest() != 0 {
+		t.Fatalf("%d undecoded bytes", r.Rest())
+	}
+}
+
+// TestStatsRoundTrip pins the Stats encoding: every counter the reports
+// read must survive the wire bit for bit.
+func TestStatsRoundTrip(t *testing.T) {
+	in := backend.Stats{
+		Pool:            buffer.Stats{Hits: 1, Misses: 2, Evictions: 3, DirtyEvictions: 4, Flushes: 5},
+		ObjectsAccessed: 77,
+		Objects:         123,
+		Pages:           456,
+	}
+	in.Disk.Reads[disk.Transaction] = 10
+	in.Disk.Reads[disk.Clustering] = 20
+	in.Disk.Writes[disk.Transaction] = 30
+	in.Disk.Writes[disk.Clustering] = 40
+
+	var f Buf
+	f.Start(StatusOK)
+	f.Stats(in)
+	var w bytes.Buffer
+	if err := f.Send(&w); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, _, err := ReadFrame(&w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(payload)
+	out := r.Stats()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("stats round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+// TestErrorStatusRoundTrip pins the sentinel mapping both ways: each
+// backend sentinel has its own status code, and the decoded client error
+// satisfies errors.Is against exactly that sentinel.
+func TestErrorStatusRoundTrip(t *testing.T) {
+	cases := []struct {
+		err    error
+		status uint8
+	}{
+		{backend.ErrNoSuchObject, StatusNoSuchObject},
+		{backend.ErrObjectTooLarge, StatusObjectTooLarge},
+		{backend.ErrBadSize, StatusBadSize},
+		{backend.ErrNotSupported, StatusNotSupported},
+		{errors.New("anything else"), StatusError},
+	}
+	sentinels := []error{
+		backend.ErrNoSuchObject, backend.ErrObjectTooLarge,
+		backend.ErrBadSize, backend.ErrNotSupported,
+	}
+	for _, tc := range cases {
+		// Drivers wrap sentinels; the mapping must survive wrapping.
+		wrapped := tc.err
+		if tc.status != StatusError {
+			wrapped = errors.Join(errors.New("driver context"), tc.err)
+		}
+		if got := statusOf(wrapped); got != tc.status {
+			t.Fatalf("statusOf(%v) = %d, want %d", wrapped, got, tc.status)
+		}
+		dec := DecodeError(tc.status, wrapped.Error())
+		if dec.Error() != wrapped.Error() {
+			t.Fatalf("message lost: %q vs %q", dec.Error(), wrapped.Error())
+		}
+		for _, s := range sentinels {
+			want := errors.Is(wrapped, s)
+			if got := errors.Is(dec, s); got != want {
+				t.Fatalf("errors.Is(decoded(%d), %v) = %v, want %v", tc.status, s, got, want)
+			}
+		}
+	}
+}
+
+// TestReadFrameRejectsGarbage pins the protocol-violation cases the
+// server turns into dropped connections.
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Zero-length frame.
+	if _, _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	// Oversized length prefix: must fail before allocating the claim.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, OpAccess}
+	if _, _, _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated body.
+	var f Buf
+	f.Start(OpAccess)
+	f.U64(12)
+	var w bytes.Buffer
+	if err := f.Send(&w); err != nil {
+		t.Fatal(err)
+	}
+	cut := w.Bytes()[:w.Len()-3]
+	if _, _, _, err := ReadFrame(bytes.NewReader(cut), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// TestReaderSticksOnTruncation pins the sticky short-payload error: a
+// decode running past the payload must flag Err, not panic or fabricate.
+func TestReaderSticksOnTruncation(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("short U64 not flagged")
+	}
+	r2 := NewReader([]byte{0xff, 0xff, 0xff, 0xff})
+	_ = r2.Str() // length prefix claims 4 GB
+	if r2.Err() == nil {
+		t.Fatal("lying string length not flagged")
+	}
+	r3 := NewReader([]byte{0xff, 0xff, 0xff, 0x7f})
+	_ = r3.OIDs(nil) // OID count claims ~2 billion entries
+	if r3.Err() == nil {
+		t.Fatal("lying OID count not flagged")
+	}
+}
