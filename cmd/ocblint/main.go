@@ -1,0 +1,277 @@
+// Command ocblint runs the project's static-analysis suite (package
+// internal/lint) over the module.
+//
+// Standalone (the CI entry point):
+//
+//	go run ./cmd/ocblint ./...
+//
+// loads and type-checks the named packages (standard-library imports are
+// checked from GOROOT source, so no build cache or network is needed) and
+// prints findings as file:line:col: analyzer: message, exiting 1 when
+// there are any.
+//
+// It also speaks enough of the vet driver protocol (-V=full, -flags, and
+// a *.cfg argument with gc export data) to run as
+//
+//	go vet -vettool=$(which ocblint) ./...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ocb/internal/lint"
+	"ocb/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Vet driver handshake: `go vet` probes the tool before use.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// Name, the literal "version", and a build identifier: the go
+			// command hashes this line into its cache key.
+			fmt.Printf("ocblint version ocb-suite-1\n")
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetUnit(args[0])
+		}
+	}
+
+	fs := flag.NewFlagSet("ocblint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: ocblint [-only a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		filtered := analyzers[:0:0]
+		for _, a := range analyzers {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "ocblint: no analyzer matches -only=%s\n", *only)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocblint: %v\n", err)
+		return 2
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocblint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocblint: %v\n", err)
+		return 2
+	}
+
+	bad := false
+	for _, pkg := range pkgs {
+		findings, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ocblint: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Printf("%s: %s: %s\n", relPosition(root, f.Pos), f.Analyzer, f.Message)
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPosition renders a position with the module root stripped.
+func relPosition(root string, pos token.Position) string {
+	name := pos.Filename
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d", name, pos.Line, pos.Column)
+}
+
+// vetConfig is the subset of the vet driver's unit config this tool
+// reads (the file go vet passes as the sole argument).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit under `go vet -vettool`.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocblint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ocblint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Always produce the facts file: the go command expects it even though
+	// this suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ocblint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The suite checks production-code invariants; test files (which
+		// vet units include) legitimately use clocks and string matching.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "ocblint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	if len(files) == 0 {
+		return 0 // external test package: nothing in scope
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ocblint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &load.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	findings, err := lint.Run(pkg, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocblint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Pos.Offset < findings[j].Pos.Offset })
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return 2 // the go command's "diagnostics reported" exit code
+}

@@ -154,4 +154,20 @@
 // -backend-opt key=value flags, and the driver must reject unknown keys
 // via CheckOptions so a typo fails with the valid keys named rather than
 // silently benchmarking a default.
+//
+// # Static analysis
+//
+// Several of the rules above are machine-checked by ocblint (`go run
+// ./cmd/ocblint ./...`, package internal/lint), which CI runs before
+// anything else. For a driver author the relevant analyzers are: senterr
+// — return the Err* sentinels of this package (wrapped with %w if you
+// add context) and match them only with errors.Is, never == or string
+// comparison, or remote operation will silently break; locksafe — do not
+// fsync, pread, append to a file or touch the network while one of your
+// store locks is held (snapshot under the lock, do the I/O outside, as
+// waldisk's flush does), and if a lock legitimately exists to serialize
+// log I/O, declare it at the field with //ocblint:iolock; allocfree —
+// annotate your fault and access paths //ocblint:allocfree so the
+// analyzer holds them to the same zero-allocation bar the AllocsPerRun
+// gates measure at run time.
 package backend

@@ -363,21 +363,36 @@ func (s *Store) Restore(img *backend.Image) error {
 // record's size agrees with the index. Far too slow for the hot path;
 // invaluable after crash recovery.
 func (s *Store) CheckIntegrity() error {
+	// Snapshot the index and segment table under the lock, then read
+	// outside it: log records are immutable once written and segment
+	// files stay open until Close, so the preads need no lock — and a
+	// full-store audit must not stall writers behind file I/O.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var buf [readBufSize]byte
+	type auditRec struct {
+		oid backend.OID
+		e   entry
+	}
+	recs := make([]auditRec, 0, len(s.index))
 	for oid, e := range s.index {
+		recs = append(recs, auditRec{oid, e})
+	}
+	segs := append([]*os.File(nil), s.segs...)
+	s.mu.RUnlock()
+
+	var buf [readBufSize]byte
+	for _, rec := range recs {
+		oid, e := rec.oid, rec.e
 		if e.size < backend.ObjectHeaderSize {
 			return fmt.Errorf("waldisk: object %d: impossible size %d", oid, e.size)
 		}
 		if e.seg == 0 {
 			continue // latest version still staged; nothing durable to audit
 		}
-		if int(e.seg) > len(s.segs) || e.rlen < frameHeader+9 || e.rlen > readBufSize {
+		if int(e.seg) > len(segs) || e.rlen < frameHeader+9 || e.rlen > readBufSize {
 			return fmt.Errorf("waldisk: object %d: record location out of range (seg %d, len %d)", oid, e.seg, e.rlen)
 		}
 		b := buf[:e.rlen]
-		if _, err := s.segs[e.seg-1].ReadAt(b, e.off); err != nil {
+		if _, err := segs[e.seg-1].ReadAt(b, e.off); err != nil {
 			return fmt.Errorf("waldisk: object %d: reading record: %w", oid, err)
 		}
 		if !validRecordFor(b, oid) {

@@ -234,6 +234,8 @@ type Store struct {
 
 	// logMu serializes physical log appends: encoding, rolling, writing,
 	// syncing and the commit sequence live under it.
+	//
+	//ocblint:iolock -- this lock exists to serialize log file I/O
 	logMu     sync.Mutex
 	curOff    int64
 	commitSeq uint64
@@ -379,6 +381,8 @@ func (s *Store) Create(payloadSize int) (backend.OID, error) {
 // verified, one read I/O charged); an object whose latest version is
 // still staged is served from memory for free, like a hit in the write
 // buffer.
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Store) Access(oid backend.OID) error {
 	s.mu.RLock()
 	e, ok := s.index[oid]
@@ -407,6 +411,8 @@ func (s *Store) Access(oid backend.OID) error {
 // concurrent mutators for the duration of its disk I/O. The snapshots
 // stay valid because log records are never overwritten or reclaimed
 // while the store is open.
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Store) AccessBatch(oids []backend.OID) (int, error) {
 	if len(oids) == 0 {
 		return 0, nil
@@ -581,6 +587,8 @@ func (s *Store) classIdx() int {
 // fault reads an object's log record back from disk, verifies its frame
 // and identity, and charges one read I/O. The read buffer is pooled so
 // the hot path stays allocation-free.
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Store) fault(f *os.File, off int64, rlen int32, oid backend.OID) error {
 	if rlen < frameHeader+9 || rlen > readBufSize {
 		return fmt.Errorf("waldisk: object %d: corrupt record length %d", oid, rlen)

@@ -97,6 +97,8 @@ func shardCapacity(capacity, n, i int) int {
 
 // shard returns the shard owning a page id. Sequential creation-order page
 // ids round-robin across shards, which balances both space and lock load.
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Sharded) shard(id disk.PageID) *poolShard {
 	return &s.shards[uint32(id)&s.mask]
 }
@@ -139,6 +141,8 @@ func (s *Sharded) Contains(id disk.PageID) bool {
 // Get returns the page, faulting it in from disk on a miss. A miss charges
 // one disk read; if the shard is full, a victim is evicted first (one disk
 // write if it was dirty).
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Sharded) Get(id disk.PageID) (*disk.Page, error) {
 	sh := s.shard(id)
 	sh.mu.Lock()
@@ -152,6 +156,8 @@ func (s *Sharded) Get(id disk.PageID) (*disk.Page, error) {
 // acquisition. With one shard (the reproducible single-client geometry) the
 // whole batch costs one lock round-trip. It returns how many pages were
 // faulted successfully; on error, pages past the failing one are untouched.
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Sharded) GetBatch(ids []disk.PageID) (int, error) {
 	i := 0
 	for i < len(ids) {
@@ -171,6 +177,8 @@ func (s *Sharded) GetBatch(ids []disk.PageID) (int, error) {
 
 // GetIfResident returns the page only if it is already resident, counting
 // neither a hit nor a miss.
+//
+//ocblint:allocfree -- steady-state hot path
 func (s *Sharded) GetIfResident(id disk.PageID) (*disk.Page, bool) {
 	sh := s.shard(id)
 	sh.mu.Lock()

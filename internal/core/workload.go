@@ -142,6 +142,7 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 		defer e.DB.mu.RUnlock()
 	}
 	before := e.DB.Store.DiskStats()
+	//ocblint:allow determinism -- harness timing, not op logic
 	start := time.Now()
 
 	accessed, err := e.execLocked(tx)
@@ -153,7 +154,8 @@ func (e *Executor) Exec(tx Transaction) (TxResult, error) {
 	return TxResult{
 		ObjectsAccessed: accessed,
 		IOs:             after.TransactionIOs() - before.TransactionIOs(),
-		Duration:        time.Since(start),
+		//ocblint:allow determinism -- harness timing, not op logic
+		Duration: time.Since(start),
 	}, nil
 }
 
@@ -176,6 +178,8 @@ func (e *Executor) ExecCounted(tx Transaction) (int, error) {
 // execLocked is the transaction body shared by Exec and ExecCounted; the
 // caller holds the database's graph lock in the mode tx.mutating()
 // demands.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) execLocked(tx Transaction) (int, error) {
 	// Under the generic workload, deletions may have invalidated the
 	// sampled root; an in-range but deleted root resolves onto the live
@@ -228,6 +232,8 @@ func (e *Executor) execLocked(tx Transaction) (int, error) {
 
 // visit faults the object and notifies the policy of the crossing from
 // src (NilOID for roots).
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) visit(from, to backend.OID) error {
 	if err := e.DB.Store.Access(to); err != nil {
 		return err
@@ -244,6 +250,8 @@ func (e *Executor) visit(from, to backend.OID) error {
 
 // discover marks a successor as seen and queues it for the level's batched
 // access, remembering the parent link for policy observation.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) discover(from, to backend.OID) {
 	if !e.seen.Add(to) {
 		return
@@ -259,6 +267,8 @@ func (e *Executor) discover(from, to backend.OID) {
 // faults land in exactly the discovery order sequential Access calls would
 // have used, so single-client measurements are unchanged — and the frontier
 // buffers and seen-set are the executor's reusable scratch.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) setAccess(root backend.OID, depth int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
@@ -304,6 +314,8 @@ func (e *Executor) setAccess(root backend.OID, depth int, reverse bool) (int, er
 
 // simple is the simple traversal: depth-first on all the references up to
 // depth hops, duplicates allowed (as in OO1's part tree exploration).
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) simple(root backend.OID, depth int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
@@ -318,6 +330,8 @@ func (e *Executor) simple(root backend.OID, depth int, reverse bool) (int, error
 // simpleDFS walks all references of oid depth-first for remaining more
 // hops, iterating reference slots in place (no successor slice is
 // materialized) and returning how many objects it accessed.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) simpleDFS(oid backend.OID, remaining int, reverse bool) (int, error) {
 	if remaining == 0 {
 		return 0, nil
@@ -357,6 +371,8 @@ func (e *Executor) simpleDFS(oid backend.OID, remaining int, reverse bool) (int,
 
 // hierarchy is the hierarchy traversal: depth-first always following the
 // same type of reference.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) hierarchy(root backend.OID, depth, refType int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
@@ -373,6 +389,8 @@ func (e *Executor) hierarchy(root backend.OID, depth, refType int, reverse bool)
 // entries whose owning object points back at oid through a reference of
 // that type. The type filter is applied in place while iterating, so no
 // successor slice is materialized.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) hierarchyDFS(oid backend.OID, remaining, refType int, reverse bool) (int, error) {
 	if remaining == 0 {
 		return 0, nil
@@ -429,6 +447,8 @@ func (e *Executor) hierarchyDFS(oid backend.OID, remaining, refType int, reverse
 // (Tsangaris & Naughton). The geometric draw is folded modulo the number
 // of available references so that every step makes progress; the walk
 // stops early at objects without references.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) stochastic(root backend.OID, depth int, reverse bool) (int, error) {
 	if e.DB.Object(root) == nil {
 		return 0, fmt.Errorf("ocb: bad root %d", root)
@@ -540,6 +560,8 @@ const scanBatch = 512
 // Scan, excluded from the clustering workload and restored by §5. It walks
 // one live-OID snapshot (the database's cached ascending snapshot, not a
 // freshly built slice) in bounded batches through Store.AccessBatch.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) scan() (int, error) {
 	live := e.DB.LiveOIDs()
 	n := 0
@@ -563,6 +585,8 @@ func (e *Executor) scan() (int, error) {
 // rangeLookup visits the live objects whose OID falls within a 1%-of-NO
 // window starting at the root — HyperModel's Range Lookup analogue over
 // the object identifier attribute.
+//
+//ocblint:allocfree -- steady-state hot path
 func (e *Executor) rangeLookup(root backend.OID) (int, error) {
 	width := e.DB.P.NO / 100
 	if width < 1 {

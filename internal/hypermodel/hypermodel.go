@@ -131,6 +131,7 @@ type Database struct {
 
 // Generate builds the HyperModel database level by level.
 func Generate(p Params) (*Database, error) {
+	//ocblint:allow determinism -- harness timing, not op logic
 	start := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -213,6 +214,7 @@ func Generate(p Params) (*Database, error) {
 	if err := st.Commit(); err != nil {
 		return nil, err
 	}
+	//ocblint:allow determinism -- harness timing, not op logic
 	db.GenTime = time.Since(start)
 	st.ResetStats()
 	return db, nil

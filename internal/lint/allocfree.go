@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ocb/internal/lint/analysis"
+)
+
+// AllocFree checks functions annotated //ocblint:allocfree for constructs
+// that obviously heap-allocate: composite literals, make/new, closures,
+// fmt calls, string conversions, boxing into interfaces, goroutine
+// launches and string concatenation. It is the compile-time complement to
+// the runtime testing.AllocsPerRun gates: those prove one executed path
+// allocates nothing, this proves every path is free of the usual
+// suspects.
+//
+// Error early-exits are exempt: a statement list whose final statement
+// returns a non-nil error is off the steady-state path, so guards like
+// `return 0, fmt.Errorf(...)` do not need suppression. append is
+// deliberately not flagged — the codebase's scratch-reuse pattern appends
+// into capacity-retained slices.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "functions annotated //ocblint:allocfree must not contain obvious heap allocations " +
+		"(composite literals, make/new, closures, fmt calls, boxing, string conversion); " +
+		"error-returning early exits are exempt",
+	Run: runAllocFree,
+}
+
+func runAllocFree(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !groupHasDirective(fn.Doc, "allocfree") {
+				continue
+			}
+			af := &allocFree{pass: pass, fname: fn.Name.Name}
+			af.checkStmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+type allocFree struct {
+	pass  *analysis.Pass
+	fname string
+}
+
+// checkStmts walks a statement list, skipping it entirely when it ends in
+// an error-returning exit (the error path may allocate — it is not the
+// steady state the annotation protects).
+func (af *allocFree) checkStmts(stmts []ast.Stmt) {
+	if af.isErrorExit(stmts) {
+		return
+	}
+	for _, stmt := range stmts {
+		af.checkStmt(stmt)
+	}
+}
+
+// isErrorExit reports whether the list ends in `return ..., err-ish`
+// where the final result is an error expression other than the nil
+// identifier.
+func (af *allocFree) isErrorExit(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := af.pass.TypesInfo.Types[last]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func (af *allocFree) checkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		af.checkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			af.checkStmt(s.Init)
+		}
+		af.checkExpr(s.Cond)
+		af.checkStmts(s.Body.List)
+		if s.Else != nil {
+			af.checkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			af.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			af.checkExpr(s.Cond)
+		}
+		if s.Post != nil {
+			af.checkStmt(s.Post)
+		}
+		af.checkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		af.checkExpr(s.X)
+		af.checkStmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			af.checkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			af.checkExpr(s.Tag)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				af.checkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				af.checkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				af.checkStmts(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		af.report(s.Pos(), "go statement (every goroutine launch allocates a stack)")
+	case *ast.DeferStmt:
+		// Deferred sync unlocks are open-coded by the compiler and free;
+		// anything else deferred is suspect in a hot function.
+		if !af.isSyncCall(s.Call) {
+			af.report(s.Pos(), "defer in a hot function (deferred calls may allocate and cost on every run)")
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			af.checkExpr(e)
+		}
+		af.checkAssignBoxing(s)
+	case *ast.ExprStmt:
+		af.checkExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			af.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						af.checkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		af.checkExpr(s.Value)
+	case *ast.IncDecStmt:
+	case *ast.LabeledStmt:
+		af.checkStmt(s.Stmt)
+	}
+}
+
+// checkExpr flags allocating constructs inside one expression.
+func (af *allocFree) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := af.pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				af.report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				af.report(n.Pos(), "slice literal allocates")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					af.report(n.Pos(), "&T{} composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			af.report(n.Pos(), "function literal (closures capturing variables allocate)")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := af.pass.TypesInfo.Types[n]; ok {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						af.report(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			af.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (af *allocFree) checkCall(call *ast.CallExpr) {
+	// Builtins and conversions.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			if af.isBuiltin(fun) {
+				af.report(call.Pos(), "make allocates (hoist the buffer and reuse it)")
+				return
+			}
+		case "new":
+			if af.isBuiltin(fun) {
+				af.report(call.Pos(), "new allocates")
+				return
+			}
+		}
+	}
+	if af.checkConversion(call) {
+		return
+	}
+	// fmt is never allocation-free (interface args + formatting buffers).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := af.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "fmt":
+				af.report(call.Pos(), "fmt.%s allocates (interface boxing and format buffers)", fn.Name())
+				return
+			case "strconv":
+				switch fn.Name() {
+				case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "Quote":
+					af.report(call.Pos(), "strconv.%s returns a fresh string", fn.Name())
+					return
+				}
+			}
+		}
+	}
+	af.checkArgBoxing(call)
+}
+
+// checkConversion flags string↔[]byte/[]rune conversions, which copy.
+func (af *allocFree) checkConversion(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := af.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	argTV, ok := af.pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	to, from := tv.Type.Underlying(), argTV.Type.Underlying()
+	if isStringType(to) && isByteOrRuneSlice(from) {
+		af.report(call.Pos(), "[]byte/[]rune → string conversion copies")
+		return true
+	}
+	if isByteOrRuneSlice(to) && isStringType(from) {
+		af.report(call.Pos(), "string → []byte/[]rune conversion copies")
+		return true
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Kind() == types.Byte || basic.Kind() == types.Uint8 ||
+		basic.Kind() == types.Rune || basic.Kind() == types.Int32
+}
+
+// checkArgBoxing flags non-pointer-shaped values passed where an
+// interface is expected (boxing allocates unless the value is
+// pointer-shaped or a small constant the compiler can intern).
+func (af *allocFree) checkArgBoxing(call *ast.CallExpr) {
+	sig := af.callSignature(call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case i < sig.Params().Len()-1:
+			paramType = sig.Params().At(i).Type()
+		case sig.Params().Len() > 0:
+			paramType = sig.Params().At(sig.Params().Len() - 1).Type()
+			if sig.Variadic() {
+				if call.Ellipsis == token.NoPos {
+					if slice, ok := paramType.(*types.Slice); ok {
+						paramType = slice.Elem()
+					}
+				}
+			}
+		default:
+			continue
+		}
+		af.checkBoxing(arg, paramType)
+	}
+}
+
+// callSignature resolves the static signature of a call, or nil.
+func (af *allocFree) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := af.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkAssignBoxing flags assignments of concrete non-pointer-shaped
+// values into interface-typed variables.
+func (af *allocFree) checkAssignBoxing(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		lhsTV, ok := af.pass.TypesInfo.Types[lhs]
+		if !ok {
+			continue
+		}
+		af.checkBoxing(s.Rhs[i], lhsTV.Type)
+	}
+}
+
+// checkBoxing reports arg if converting it to target boxes a value.
+func (af *allocFree) checkBoxing(arg ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, isIface := target.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := af.pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constant: may be interned or is part of a static descriptor
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+		return // interface→interface: no new allocation
+	}
+	if pointerShaped(tv.Type) {
+		return
+	}
+	af.report(arg.Pos(), "value of type %s boxed into %s (interface conversion allocates; pass a pointer or restructure)",
+		tv.Type.String(), target.String())
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating: pointers, channels, maps, funcs, unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Slice:
+		// Slices are three words — they DO allocate when boxed — but
+		// pointers/chans/maps/funcs do not.
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			return false
+		}
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isSyncCall reports whether a call's static callee lives in package
+// sync (Unlock, RUnlock, Done and friends — none allocate).
+func (af *allocFree) isSyncCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := af.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// isBuiltin reports whether an identifier resolves to the universe-scope
+// builtin (not a shadowing local).
+func (af *allocFree) isBuiltin(id *ast.Ident) bool {
+	obj := af.pass.TypesInfo.Uses[id]
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func (af *allocFree) report(pos token.Pos, format string, args ...any) {
+	af.pass.Reportf(pos, "//ocblint:allocfree function %s: "+format, append([]any{af.fname}, args...)...)
+}

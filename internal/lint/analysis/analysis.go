@@ -1,0 +1,58 @@
+// Package analysis is a self-contained, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function over one type-checked package, and a Pass hands Run the
+// package's syntax, types and a Report sink.
+//
+// The subset exists because this repository builds with the standard
+// library alone. The shapes are kept API-compatible with the upstream
+// package (same field names, same Run contract) so the ocblint analyzers
+// can be lifted onto golang.org/x/tools/go/analysis unchanged if the
+// dependency ever becomes available; only the driver (internal/lint and
+// cmd/ocblint) would be replaced by multichecker/unitchecker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ocblint:allow directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text: first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The returned error aborts the whole run (use it
+	// for analyzer bugs, not findings).
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass is the interface between the driver and one analyzer run over one
+// package. Analyzers must not mutate any of its fields.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver owns filtering
+	// (//ocblint:allow suppression) and ordering.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

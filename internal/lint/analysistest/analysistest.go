@@ -1,0 +1,148 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against // want "regex" comments in the fixture
+// source — the same contract as golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the stdlib-only loader so the fixtures prove each analyzer
+// fires (and stays quiet) without external dependencies.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ocb/internal/lint"
+	"ocb/internal/lint/analysis"
+	"ocb/internal/lint/load"
+)
+
+// wantRE matches one or more quoted patterns after a "// want" marker.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRE pulls the individual quoted patterns out of the marker's tail —
+// double-quoted or backquoted, as in upstream analysistest.
+var patRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each named fixture package from root (a directory holding
+// one subdirectory per package; bare imports between fixtures resolve
+// against root) and reports every mismatch between the analyzer's
+// findings and the fixtures' // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, root string, pkgs ...string) {
+	t.Helper()
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := load.NewLoader(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.FixtureRoots = []string{absRoot}
+	for _, name := range pkgs {
+		pkg, err := loader.LoadDir(filepath.Join(absRoot, name), name)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		findings, err := lint.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			if !claim(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, f.Pos.Filename, f.Pos.Line, f.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unclaimed want at (file, line) whose pattern
+// matches the message.
+func claim(wants []*want, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans the fixture sources for // want markers.
+func collectWants(pkg *load.Package) ([]*want, error) {
+	var wants []*want
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats := patRE.FindAllStringSubmatch(m[1], -1)
+			if len(pats) == 0 {
+				return nil, fmt.Errorf("%s:%d: // want marker with no quoted pattern", name, i+1)
+			}
+			for _, p := range pats {
+				pat := p[1]
+				if pat == "" {
+					pat = p[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", name, i+1, err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every ocblint control comment.
+const directivePrefix = "//ocblint:"
+
+// directive is one parsed //ocblint: comment.
+type directive struct {
+	verb string   // "allow", "allocfree", "iolock"
+	args []string // comma-split first field after the verb ("allow" only)
+}
+
+// parseDirective parses one comment line, reporting whether it is an
+// ocblint directive. The optional "-- reason" suffix is ignored.
+func parseDirective(text string) (directive, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return directive{}, false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return directive{}, false
+	}
+	d := directive{verb: fields[0]}
+	if len(fields) > 1 {
+		for _, name := range strings.Split(fields[1], ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				d.args = append(d.args, name)
+			}
+		}
+	}
+	return d, true
+}
+
+// groupHasDirective reports whether a comment group carries the given
+// directive verb (used for //ocblint:allocfree and //ocblint:iolock,
+// which take no analyzer list).
+func groupHasDirective(g *ast.CommentGroup, verb string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if d, ok := parseDirective(c.Text); ok && d.verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressor indexes a package's //ocblint:allow directives: line-scoped
+// allows (the directive's own line and the following line) and
+// function-scoped allows (a directive in a FuncDecl's doc comment).
+type suppressor struct {
+	fset *token.FileSet
+	// lines maps file name → line → analyzer names allowed there.
+	lines map[string]map[int][]string
+	// ranges holds function-scoped allows.
+	ranges []allowRange
+}
+
+type allowRange struct {
+	pos, end token.Pos
+	names    []string
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{fset: fset, lines: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c.Text)
+				if !ok || d.verb != "allow" || len(d.args) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				byLine := s.lines[p.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					s.lines[p.Filename] = byLine
+				}
+				byLine[p.Line] = append(byLine[p.Line], d.args...)
+				byLine[p.Line+1] = append(byLine[p.Line+1], d.args...)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if d, ok := parseDirective(c.Text); ok && d.verb == "allow" && len(d.args) > 0 {
+					s.ranges = append(s.ranges, allowRange{pos: fn.Pos(), end: fn.End(), names: d.args})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether the named analyzer is suppressed at pos.
+func (s *suppressor) allows(name string, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := s.fset.Position(pos)
+	for _, n := range s.lines[p.Filename][p.Line] {
+		if n == name {
+			return true
+		}
+	}
+	for _, r := range s.ranges {
+		if pos >= r.pos && pos < r.end {
+			for _, n := range r.names {
+				if n == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// scopedTo reports whether the package under analysis is in an
+// analyzer's target set, matching the import path's last element (real
+// packages) or the package name (analysistest fixtures).
+func scopedTo(pkgPath, pkgName string, set map[string]bool) bool {
+	last := pkgPath
+	if i := strings.LastIndexByte(last, '/'); i >= 0 {
+		last = last[i+1:]
+	}
+	return set[last] || set[pkgName]
+}

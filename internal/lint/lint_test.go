@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ocb/internal/lint"
+	"ocb/internal/lint/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, lint.Determinism, "testdata/determinism", "oo1", "plotter")
+}
+
+func TestSentErr(t *testing.T) {
+	analysistest.Run(t, lint.SentErr, "testdata/senterr", "client", "wire", "wireok")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, lint.LockSafe, "testdata/locksafe", "waldisk", "util")
+}
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, lint.AllocFree, "testdata/allocfree", "hot")
+}

@@ -1,0 +1,273 @@
+// Package load parses and type-checks this module's packages using the
+// standard library alone: module packages are resolved recursively from
+// the repository tree, and standard-library imports are type-checked from
+// GOROOT source through go/importer's "source" compiler (which works
+// offline — exactly what a hermetic lint step needs).
+//
+// It is the package-loading half that golang.org/x/tools/go/packages
+// would normally provide for a go/analysis driver; see internal/lint's
+// package comment for why the dependency is stubbed.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("ocb/internal/oo1", or the bare directory
+	// name for analysistest fixture packages).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every file in the loader's shared FileSet.
+	Fset *token.FileSet
+	// Files is the parsed syntax, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages for analysis. One Loader shares a FileSet and an
+// import cache across every load, so the standard library is type-checked
+// at most once per process.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleDir is the repository root (the directory holding go.mod);
+	// ModulePath is the module's declared path.
+	ModuleDir  string
+	ModulePath string
+	// FixtureRoots are extra directories whose immediate subdirectories
+	// resolve bare import paths — the analysistest fixture mechanism
+	// ("backend" inside a fixture tree resolves to <root>/backend).
+	FixtureRoots []string
+
+	mu      sync.Mutex
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory, which must
+// contain go.mod. Cgo is disabled for the whole process so the standard
+// library's pure-Go fallbacks are what gets type-checked (the source
+// importer cannot run cgo, and the checks do not care which net stack
+// they resolve against).
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("load: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("load: no module declaration in %s", gomod)
+}
+
+// Import implements types.Importer: module packages load recursively from
+// the tree, fixture-root subdirectories resolve bare paths, and everything
+// else is delegated to the standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an import path onto a source directory when the loader owns
+// it (module or fixture), or reports false for standard-library paths.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	for _, root := range l.FixtureRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path, caching the result. Test files (*_test.go) are excluded:
+// the invariants ocblint proves are production-code invariants, and test
+// code legitimately uses wall clocks and string matching.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadLocked(dir, path)
+}
+
+func (l *Loader) loadLocked(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			if dir, ok := l.dirFor(p); ok {
+				pkg, err := l.loadLocked(dir, p)
+				if err != nil {
+					return nil, err
+				}
+				return pkg.Types, nil
+			}
+			return l.std.Import(p)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Packages resolves command-line patterns relative to the module root:
+// "./..." walks the whole tree, "./dir/..." a subtree, "./dir" one
+// directory. Directories named testdata, hidden directories, and
+// directories without non-test Go files are skipped, like the go tool.
+func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walkPackageDirs(l.ModuleDir, add)
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			walkPackageDirs(filepath.Join(l.ModuleDir, filepath.FromSlash(base)), add)
+		default:
+			add(filepath.Join(l.ModuleDir, filepath.FromSlash(pat)))
+		}
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs calls add for every directory under root that holds at
+// least one buildable non-test Go file.
+func walkPackageDirs(root string, add func(dir string)) {
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := build.ImportDir(path, 0); err == nil {
+			add(path)
+		}
+		return nil
+	})
+}

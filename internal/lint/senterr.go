@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ocb/internal/lint/analysis"
+)
+
+// SentErr enforces the sentinel-error contract across the driver and wire
+// boundaries: sentinel errors (package-level Err*/err* variables of type
+// error) must be matched with errors.Is — never with ==/!=, switch, or
+// Error() string matching, all of which break on wrapped errors — and the
+// wire status-code mapping (statusOf/sentinelOf) must stay exhaustive
+// over the backend package's sentinel set, so a newly added sentinel
+// cannot silently degrade to a generic error on the wire.
+var SentErr = &analysis.Analyzer{
+	Name: "senterr",
+	Doc: "backend sentinel errors must be compared with errors.Is (never ==, switch, or string " +
+		"matching), and the wire status-code mapping must cover every backend sentinel",
+	Run: runSentErr,
+}
+
+func runSentErr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	checkWireExhaustiveness(pass)
+	return nil
+}
+
+// sentinelVar reports whether an expression names a package-level error
+// sentinel (a var of type error named Err* or err*).
+func sentinelVar(pass *analysis.Pass, e ast.Expr) (*types.Var, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	name := v.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return nil, false
+	}
+	return v, isErrorType(v.Type())
+}
+
+// isErrorType reports whether t is the error interface (or implements it
+// and is itself an interface — sentinels are declared as error).
+func isErrorType(t types.Type) bool {
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Identical(it, errType) || types.Implements(t, errType)
+}
+
+// checkErrComparison flags ==/!= against a sentinel, and Error()-text
+// comparisons.
+func checkErrComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if v, ok := sentinelVar(pass, side); ok {
+			pass.Reportf(b.Pos(), "sentinel error %s compared with %s; use errors.Is so wrapped errors (fmt.Errorf %%w, wire.Error) still match", v.Name(), b.Op)
+			return
+		}
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if isErrorTextCall(pass, side) {
+			pass.Reportf(b.Pos(), "error matched by Error() text; use errors.Is against the sentinel instead of string comparison")
+			return
+		}
+	}
+}
+
+// checkErrSwitch flags switch err { case ErrX: } sentinel dispatch.
+func checkErrSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[s.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v, ok := sentinelVar(pass, e); ok {
+				pass.Reportf(e.Pos(), "sentinel error %s matched by switch case (an == comparison); use errors.Is in a switch-true or if/else chain", v.Name())
+			}
+		}
+	}
+}
+
+// checkErrStringMatch flags strings.Contains/HasPrefix/HasSuffix/EqualFold
+// applied to an Error() result.
+func checkErrStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "error matched by strings.%s over Error() text; use errors.Is against the sentinel", fn.Name())
+			return
+		}
+	}
+}
+
+// isErrorTextCall reports whether e is a call of the form err.Error().
+func isErrorTextCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}
+
+// checkWireExhaustiveness verifies the status-code mapping: in a package
+// that declares both statusOf (error → status) and sentinelOf (status →
+// error), every exported Err* sentinel of the imported backend package
+// must be referenced by both — otherwise a new sentinel silently becomes
+// a generic StatusError on the wire and errors.Is breaks for remote
+// callers.
+func checkWireExhaustiveness(pass *analysis.Pass) {
+	var statusOf, sentinelOf *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				switch fn.Name.Name {
+				case "statusOf":
+					statusOf = fn
+				case "sentinelOf":
+					sentinelOf = fn
+				}
+			}
+		}
+	}
+	if statusOf == nil || sentinelOf == nil {
+		return
+	}
+	statusUsed := sentinelsReferenced(pass, statusOf)
+	sentinelUsed := sentinelsReferenced(pass, sentinelOf)
+	provider, sentinels := sentinelProvider(pass.Pkg, statusUsed, sentinelUsed)
+	if provider == nil {
+		return
+	}
+	for _, check := range []struct {
+		fn   *ast.FuncDecl
+		used map[*types.Package]map[string]bool
+		what string
+	}{
+		{statusOf, statusUsed, "has no wire status code (it would degrade to the generic error status)"},
+		{sentinelOf, sentinelUsed, "is never reconstructed from its status (errors.Is would fail on the client)"},
+	} {
+		for _, name := range sentinels {
+			if !check.used[provider][name] {
+				pass.Reportf(check.fn.Pos(), "%s: sentinel %s.%s %s", check.fn.Name.Name, provider.Name(), name, check.what)
+			}
+		}
+	}
+}
+
+// sentinelProvider picks the imported package whose sentinel set the
+// mapping must cover: among the imports the mapping functions actually
+// reference a sentinel of, the one declaring the most exported Err* error
+// variables. Requiring a reference keeps incidental imports with their
+// own Err* vars (io, for one) from hijacking the check. Returns the
+// provider's sorted sentinel names.
+func sentinelProvider(pkg *types.Package, refs ...map[*types.Package]map[string]bool) (*types.Package, []string) {
+	referenced := func(imp *types.Package) bool {
+		for _, m := range refs {
+			if len(m[imp]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	var best *types.Package
+	var bestNames []string
+	for _, imp := range pkg.Imports() {
+		if !referenced(imp) {
+			continue
+		}
+		var names []string
+		scope := imp.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Err") {
+				continue
+			}
+			if v, ok := scope.Lookup(name).(*types.Var); ok && isErrorType(v.Type()) {
+				names = append(names, name)
+			}
+		}
+		if len(names) > len(bestNames) {
+			best, bestNames = imp, names
+		}
+	}
+	sort.Strings(bestNames)
+	return best, bestNames
+}
+
+// sentinelsReferenced collects, per imported package, the Err* names of
+// package-level error vars referenced anywhere inside fn.
+func sentinelsReferenced(pass *analysis.Pass, fn *ast.FuncDecl) map[*types.Package]map[string]bool {
+	used := make(map[*types.Package]map[string]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg() != pass.Pkg && v.Parent() == v.Pkg().Scope() &&
+			strings.HasPrefix(v.Name(), "Err") && isErrorType(v.Type()) {
+			if used[v.Pkg()] == nil {
+				used[v.Pkg()] = make(map[string]bool)
+			}
+			used[v.Pkg()][v.Name()] = true
+		}
+		return true
+	})
+	return used
+}

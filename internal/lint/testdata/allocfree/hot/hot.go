@@ -1,0 +1,44 @@
+// Package hot is the allocfree fixture: annotated functions are checked
+// for obvious heap allocations, error exits and unannotated functions
+// are exempt.
+package hot
+
+import "fmt"
+
+//ocblint:allocfree
+func Bad(n int) int {
+	m := map[int]int{}        // want `map literal allocates`
+	s := fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+	_ = s
+	b := make([]byte, n) // want `make allocates`
+	_ = b
+	f := func() int { return n } // want `function literal`
+	v := []int{n}                // want `slice literal allocates`
+	t := string(b)               // want `conversion copies`
+	_ = t
+	return m[0] + f() + v[0]
+}
+
+type point struct{ x, y int }
+
+func sink(v any) { _ = v }
+
+//ocblint:allocfree
+func Box(p point) (r any) {
+	sink(p) // want `boxed into`
+	r = p   // want `boxed into`
+	return r
+}
+
+//ocblint:allocfree
+func Guarded(n int, buf []byte) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n) // error exit: exempt
+	}
+	buf = append(buf, byte(n)) // append is the scratch-reuse pattern: ok
+	return len(buf), nil
+}
+
+func Unannotated(n int) []int {
+	return []int{n} // not annotated: ok
+}

@@ -1,0 +1,27 @@
+// Package oo1 is a determinism fixture: its name puts it in the
+// analyzer's scoped set, so clock reads and global-rand draws must be
+// flagged while seeded sources and allowed lines stay quiet.
+package oo1
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Gen(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed)) // constructors build seeded sources: ok
+	now := time.Now()                   // want `time\.Now`
+	_ = now
+	x := rand.Int()                     // want `rand\.Int`
+	d := time.Since(time.Unix(0, seed)) // want `time\.Since`
+	_ = d
+	//ocblint:allow determinism -- fixture harness timing
+	t := time.Now() // allowed by the directive above
+	_ = t
+	return r.Int63() + int64(x) // seeded Rand methods: ok
+}
+
+//ocblint:allow determinism -- whole-function allow via doc comment
+func Timed() time.Time {
+	return time.Now() // allowed: the doc directive covers the function
+}

@@ -1,0 +1,9 @@
+// Package plotter is outside the determinism analyzer's scoped package
+// set: its clock reads are legitimate and must not be flagged.
+package plotter
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // out of scope: ok
+}

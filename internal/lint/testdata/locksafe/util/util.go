@@ -1,0 +1,35 @@
+// Package util is outside locksafe's I/O scope, but the lock-copy
+// checks apply everywhere.
+package util
+
+import (
+	"os"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) get() int { // want `method get passes a lock by value`
+	return c.n
+}
+
+func reset(c counter) { // want `parameter of reset passes a lock by value`
+	c.n = 0
+}
+
+func sum(cs []counter) int {
+	t := 0
+	for _, c := range cs { // want `range copies a lock by value`
+		t += c.n
+	}
+	return t
+}
+
+func logUnderLock(c *counter, f *os.File, b []byte) {
+	c.mu.Lock()
+	f.Write(b) // out of the I/O scope set: ok
+	c.mu.Unlock()
+}

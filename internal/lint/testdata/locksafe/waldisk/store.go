@@ -1,0 +1,47 @@
+// Package waldisk is a locksafe fixture: its name puts it in the
+// analyzer's scoped set, so file I/O under the store lock must be
+// flagged — directly and through package-local helpers — while the
+// iolock-annotated log lock stays quiet.
+package waldisk
+
+import (
+	"os"
+	"sync"
+)
+
+type Store struct {
+	mu sync.Mutex
+	//ocblint:iolock -- serializes log appends by design
+	logMu sync.Mutex
+	f     *os.File
+}
+
+func (s *Store) Bad(b []byte) {
+	s.mu.Lock()
+	s.f.Write(b) // want `I/O while lock s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *Store) BadTransitive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sync() // want `eventually blocks`
+}
+
+func (s *Store) sync() {
+	s.f.Sync()
+}
+
+func (s *Store) Good(b []byte) {
+	s.mu.Lock()
+	n := len(b)
+	s.mu.Unlock()
+	_ = n
+	s.f.Write(b) // outside the critical section: ok
+}
+
+func (s *Store) Serialized(b []byte) {
+	s.logMu.Lock()
+	s.f.Write(b) // logMu is //ocblint:iolock: ok
+	s.logMu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package backend is the sentinel provider for the senterr fixtures.
+package backend
+
+import "errors"
+
+var (
+	ErrNoSuchObject = errors.New("backend: no such object")
+	ErrBadSize      = errors.New("backend: bad size")
+)

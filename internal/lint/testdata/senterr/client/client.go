@@ -1,0 +1,33 @@
+// Package client exercises the sentinel-comparison checks: every way of
+// matching an error other than errors.Is must be flagged.
+package client
+
+import (
+	"errors"
+	"strings"
+
+	"backend"
+)
+
+func Classify(err error) int {
+	if err == backend.ErrNoSuchObject { // want `compared with ==`
+		return 1
+	}
+	if err != backend.ErrBadSize { // want `compared with !=`
+		return 2
+	}
+	switch err {
+	case backend.ErrBadSize: // want `matched by switch case`
+		return 3
+	}
+	if strings.Contains(err.Error(), "too large") { // want `strings\.Contains`
+		return 4
+	}
+	if err.Error() == "backend: bad size" { // want `Error\(\) text`
+		return 5
+	}
+	if errors.Is(err, backend.ErrNoSuchObject) { // the contract: ok
+		return 6
+	}
+	return 0
+}

@@ -1,0 +1,32 @@
+// Package wire is the failing exhaustiveness fixture: the status-code
+// mapping forgets backend.ErrBadSize in both directions.
+package wire
+
+import (
+	"errors"
+
+	"backend"
+)
+
+const (
+	StatusOK uint8 = iota
+	StatusNoSuchObject
+	StatusError
+)
+
+func statusOf(err error) uint8 { // want `sentinel backend\.ErrBadSize has no wire status code`
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, backend.ErrNoSuchObject):
+		return StatusNoSuchObject
+	}
+	return StatusError
+}
+
+func sentinelOf(status uint8) error { // want `sentinel backend\.ErrBadSize is never reconstructed`
+	if status == StatusNoSuchObject {
+		return backend.ErrNoSuchObject
+	}
+	return nil
+}

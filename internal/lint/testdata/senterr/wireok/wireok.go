@@ -1,0 +1,38 @@
+// Package wireok is the passing exhaustiveness fixture: every backend
+// sentinel has a status code and is reconstructed from it.
+package wireok
+
+import (
+	"errors"
+
+	"backend"
+)
+
+const (
+	StatusOK uint8 = iota
+	StatusNoSuchObject
+	StatusBadSize
+	StatusError
+)
+
+func statusOf(err error) uint8 {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, backend.ErrNoSuchObject):
+		return StatusNoSuchObject
+	case errors.Is(err, backend.ErrBadSize):
+		return StatusBadSize
+	}
+	return StatusError
+}
+
+func sentinelOf(status uint8) error {
+	switch status {
+	case StatusNoSuchObject:
+		return backend.ErrNoSuchObject
+	case StatusBadSize:
+		return backend.ErrBadSize
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// sentinelTable is the wire protocol's view of the backend sentinel set.
+// TestSentinelTableComplete parses the backend package's source and fails
+// if a sentinel exists that this table does not carry — so adding a
+// sentinel to backend without teaching the wire about it breaks the
+// build, not a production deployment.
+var sentinelTable = map[string]error{
+	"ErrNoSuchObject":   backend.ErrNoSuchObject,
+	"ErrObjectTooLarge": backend.ErrObjectTooLarge,
+	"ErrBadSize":        backend.ErrBadSize,
+	"ErrNotSupported":   backend.ErrNotSupported,
+}
+
+// backendSentinelNames parses ../backend and returns the names of its
+// exported package-level Err* variables.
+func backendSentinelNames(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../backend", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["backend"]
+	if !ok {
+		t.Fatalf("no package backend in ../backend (found %v)", pkgs)
+	}
+	var names []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
+						names = append(names, name.Name)
+					}
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("found no Err* sentinels in ../backend; the parser or the layout changed")
+	}
+	return names
+}
+
+// TestSentinelTableComplete pins the 1:1 correspondence between the
+// backend sentinel list (as written in its source) and the wire's
+// sentinel table.
+func TestSentinelTableComplete(t *testing.T) {
+	names := backendSentinelNames(t)
+	for _, name := range names {
+		if _, ok := sentinelTable[name]; !ok {
+			t.Errorf("backend.%s has no entry in the wire sentinel table: add a status code, extend statusOf/sentinelOf, and list it here", name)
+		}
+	}
+	if len(names) != len(sentinelTable) {
+		t.Errorf("backend declares %d sentinels, the wire table carries %d; the sets must be identical", len(names), len(sentinelTable))
+	}
+}
+
+// TestStatusRoundTrip pins the status mapping itself: every sentinel maps
+// to a distinct non-generic status, reconstructs to itself, and a wrapped
+// sentinel still finds its status (statusOf must use errors.Is).
+func TestStatusRoundTrip(t *testing.T) {
+	seen := make(map[uint8]string)
+	for name, sentinel := range sentinelTable {
+		status := statusOf(sentinel)
+		if status == StatusOK || status == StatusError {
+			t.Errorf("%s maps to status %d; every sentinel needs its own status code", name, status)
+			continue
+		}
+		if prev, dup := seen[status]; dup {
+			t.Errorf("%s and %s share status %d", name, prev, status)
+		}
+		seen[status] = name
+		if got := sentinelOf(status); !errors.Is(got, sentinel) {
+			t.Errorf("sentinelOf(statusOf(%s)) = %v, want the sentinel back", name, got)
+		}
+		wrapped := &Error{Sentinel: sentinel, Msg: "remote: " + sentinel.Error()}
+		if got := statusOf(wrapped); got != status {
+			t.Errorf("statusOf(wrapped %s) = %d, want %d (statusOf must match with errors.Is)", name, got, status)
+		}
+	}
+	if statusOf(nil) != StatusOK {
+		t.Error("statusOf(nil) must be StatusOK")
+	}
+	if got := statusOf(errors.New("anything else")); got != StatusError {
+		t.Errorf("statusOf(unknown error) = %d, want StatusError", got)
+	}
+	if sentinelOf(StatusError) != nil {
+		t.Error("sentinelOf(StatusError) must be nil (no sentinel to reconstruct)")
+	}
+}

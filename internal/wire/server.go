@@ -103,17 +103,29 @@ func (s *Server) Serve(l net.Listener) error {
 // return. A client mid-request gets its answer; the next request on any
 // connection fails. Safe to call more than once.
 func (s *Server) Shutdown() {
+	// Snapshot under the lock, close outside it: Close and
+	// SetReadDeadline are network operations that may block, and the
+	// accept loop needs s.mu to make progress. Any connection accepted
+	// after draining is set is closed by the accept loop itself.
 	s.mu.Lock()
 	s.draining = true
+	listeners := make([]net.Listener, 0, len(s.listeners))
 	for l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
 		l.Close()
 	}
 	// Unblock handlers parked in ReadFrame; a handler busy serving a
 	// request notices the drain flag after writing its response.
-	for c := range s.conns {
+	for _, c := range conns {
 		c.SetReadDeadline(time.Now())
 	}
-	s.mu.Unlock()
 	s.wg.Wait()
 }
 

@@ -157,6 +157,8 @@ type OpMetrics struct {
 }
 
 // add folds one execution in.
+//
+//ocblint:allocfree -- steady-state hot path
 func (m *OpMetrics) add(objects int, ios uint64, d time.Duration) {
 	m.Count++
 	// Fractional microseconds: sub-microsecond operations still record
@@ -327,6 +329,7 @@ func (r *Runner) Run() (*Result, error) {
 	var start time.Time
 	beginMeasured := func() {
 		before = s.Backend.DiskStats()
+		//ocblint:allow determinism -- harness timing, not op logic
 		start = time.Now()
 	}
 	results := make([]*clientResult, n)
@@ -384,6 +387,7 @@ func (r *Runner) Run() (*Result, error) {
 		}
 	}
 	res.Executed = res.Total.Count
+	//ocblint:allow determinism -- harness timing, not op logic
 	res.Duration = time.Since(start)
 	res.DiskDelta = s.Backend.DiskStats().Sub(before)
 	res.Backend = s.Backend.Stats()
@@ -423,6 +427,7 @@ func (r *Runner) runClient(c int, barrier func()) (*clientResult, error) {
 	}
 	barrier()
 
+	//ocblint:allow determinism -- harness timing, not op logic
 	nextArrival := time.Now()
 	pace := func() {
 		if s.Think <= 0 {
@@ -430,6 +435,7 @@ func (r *Runner) runClient(c int, barrier func()) (*clientResult, error) {
 		}
 		if s.OpenLoop {
 			nextArrival = nextArrival.Add(s.Think)
+			//ocblint:allow determinism -- harness timing, not op logic
 			if d := time.Until(nextArrival); d > 0 {
 				time.Sleep(d)
 			}
@@ -489,6 +495,8 @@ func (s *Spec) weightedSampler() func(*Ctx) int {
 // step executes one operation instance: untimed Pre, optional lock, timed
 // Run with the I/O delta sampled around it, then metric recording. A skip
 // (ErrSkip or a missing backend capability) is recorded, not failed.
+//
+//ocblint:allocfree -- steady-state hot path
 func (r *Runner) step(ctx *Ctx, cm *clientResult, idx, seq int, record bool) (int, error) {
 	s := r.Spec
 	op := &s.Ops[idx]
@@ -511,8 +519,10 @@ func (r *Runner) step(ctx *Ctx, cm *clientResult, idx, seq int, record bool) (in
 		}
 	}
 	ioBefore := s.Backend.DiskStats().TransactionIOs()
+	//ocblint:allow determinism -- harness timing, not op logic
 	t0 := time.Now()
 	objects, err := op.Run(ctx)
+	//ocblint:allow determinism -- harness timing, not op logic
 	d := time.Since(t0)
 	ios := s.Backend.DiskStats().TransactionIOs() - ioBefore
 	if s.Lock != nil {
