@@ -8,6 +8,7 @@
 package all
 
 import (
+	_ "ocb/internal/backend/btree"
 	_ "ocb/internal/backend/flatmem"
 	_ "ocb/internal/backend/paged"
 	_ "ocb/internal/backend/remote"

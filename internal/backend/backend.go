@@ -37,6 +37,12 @@ var (
 	// implement (e.g. physical relocation on a store without pages).
 	// Experiments treat it as "skip with a report line", not as failure.
 	ErrNotSupported = errors.New("backend: operation not supported")
+	// ErrNoRanger reports an ordered-index operation (scan, seek, key
+	// lookup) on a backend without the Ranger capability. It wraps
+	// ErrNotSupported so capability-gated callers — workload skips,
+	// experiment report lines — treat it as the usual skip, while remote
+	// callers still distinguish "no index" from other unsupported ops.
+	ErrNoRanger = fmt.Errorf("%w: ordered index (Ranger)", ErrNotSupported)
 )
 
 // Stats is a snapshot of every counter the benchmarks report. Backends
@@ -139,6 +145,38 @@ type Resharder interface {
 	Shards() int
 }
 
+// Ranger is the optional ordered-index capability: the backend maintains
+// its objects in OID order (and, once SetKey has indexed them, in
+// attribute-key order) and answers range and positional queries against
+// that order. Workloads use it for the set-oriented half of the generic
+// benchmark — range scans, attribute-predicate selections, ordered
+// seeks — so access-path choice becomes a measurable axis.
+//
+// Index reads charge no object I/O: Scan/Seek/ScanKey walk the index
+// alone, and callers fault the results in through Access/AccessBatch so
+// the faulting cost lands in the same counters as point workloads.
+type Ranger interface {
+	// Scan appends to dst the live OIDs in [lo, hi] in ascending OID
+	// order (descending when desc), stopping after limit results when
+	// limit > 0. Both bounds are inclusive; hi == NilOID means "to the
+	// end"; lo > hi yields an empty result, not an error. The returned
+	// slice aliases dst's backing array when it has capacity.
+	Scan(lo, hi OID, limit int, desc bool, dst []OID) ([]OID, error)
+	// Seek returns the first live OID >= oid (<= when desc), or
+	// NilOID, false when no live object lies in that direction.
+	Seek(oid OID, desc bool) (OID, bool)
+	// SetKey indexes the object under an integer attribute key,
+	// replacing any previous key for the same OID. Deleting the object
+	// removes it from the key index. Returns ErrNoSuchObject on a dead
+	// or never-issued OID.
+	SetKey(oid OID, key int64) error
+	// ScanKey appends to dst the live OIDs whose attribute key lies in
+	// [lo, hi] (inclusive), ordered by (key, OID) ascending, stopping
+	// after limit results when limit > 0. Objects never given a key do
+	// not appear.
+	ScanKey(lo, hi int64, limit int, dst []OID) ([]OID, error)
+}
+
 // IOClassifier is the optional I/O-accounting capability: routing
 // subsequent I/O charges to an accounting class (transaction vs
 // clustering overhead).
@@ -195,6 +233,15 @@ func AsRelocator(b Backend) (Relocator, error) {
 		return r, nil
 	}
 	return nil, errNoCapability("physical relocation")
+}
+
+// AsRanger returns the backend's Ranger capability, or ErrNoRanger (which
+// wraps ErrNotSupported) when the backend keeps no ordered index.
+func AsRanger(b Backend) (Ranger, error) {
+	if r, ok := b.(Ranger); ok {
+		return r, nil
+	}
+	return nil, ErrNoRanger
 }
 
 // AsPlacer returns the backend's Placer capability, or ErrNotSupported.

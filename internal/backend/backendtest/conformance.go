@@ -26,6 +26,7 @@ func Conformance(t *testing.T, open Opener) {
 	t.Run("ResetStats", func(t *testing.T) { testResetStats(t, open(t)) })
 	t.Run("CommitAndDropCache", func(t *testing.T) { testCommitDrop(t, open(t)) })
 	t.Run("Durability", func(t *testing.T) { testDurability(t, open(t)) })
+	t.Run("Ranger", func(t *testing.T) { testRanger(t, open(t)) })
 }
 
 // populate creates n objects of the given payload size and returns their

@@ -1,0 +1,197 @@
+package backendtest
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// testRanger is the capability-gated ordered-index section: scans and
+// seeks must agree with a sorted reference model over the live set,
+// bounds are inclusive on both ends, hi == NilOID runs to the end, limit
+// truncates to the completed prefix, deleted OIDs never appear, the
+// attribute index orders by (key, OID) with replacement semantics, and
+// repeated calls are bit-identical (an index rebuilt from an unordered
+// directory must still come out sorted). Backends without the Ranger
+// capability skip, and AsRanger must say so with ErrNoRanger.
+func testRanger(t *testing.T, b backend.Backend) {
+	rg, err := backend.AsRanger(b)
+	if err != nil {
+		if !errors.Is(err, backend.ErrNoRanger) || !errors.Is(err, backend.ErrNotSupported) {
+			t.Fatalf("AsRanger error = %v, want ErrNoRanger wrapping ErrNotSupported", err)
+		}
+		t.Skip("backend keeps no ordered index")
+	}
+
+	const n = 40
+	oids := populate(t, b, n, 64)
+	for _, victim := range []int{4, 17, 33} {
+		if err := b.Delete(oids[victim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The reference model: the sorted live OID list.
+	live := make([]backend.OID, 0, n)
+	for i, oid := range oids {
+		if i != 4 && i != 17 && i != 33 {
+			live = append(live, oid)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+
+	scan := func(lo, hi backend.OID, limit int, desc bool) []backend.OID {
+		t.Helper()
+		got, err := rg.Scan(lo, hi, limit, desc, nil)
+		if err != nil {
+			t.Fatalf("Scan(%d, %d, %d, %v): %v", lo, hi, limit, desc, err)
+		}
+		return got
+	}
+	refRange := func(lo, hi backend.OID) []backend.OID {
+		ref := []backend.OID{}
+		for _, oid := range live {
+			if oid >= lo && (hi == backend.NilOID || oid <= hi) {
+				ref = append(ref, oid)
+			}
+		}
+		return ref
+	}
+	reverse := func(s []backend.OID) []backend.OID {
+		out := make([]backend.OID, len(s))
+		for i, v := range s {
+			out[len(s)-1-i] = v
+		}
+		return out
+	}
+	eq := func(what string, got, want []backend.OID) {
+		t.Helper()
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+
+	// Full scan, both via NilOID-to-the-end and explicit bounds; deleted
+	// OIDs must be skipped.
+	eq("full scan", scan(1, backend.NilOID, 0, false), live)
+	eq("explicit full scan", scan(1, oids[n-1], 0, false), live)
+	// Inclusive bounds, including bounds sitting on deleted OIDs.
+	eq("inclusive bounds", scan(oids[3], oids[10], 0, false), refRange(oids[3], oids[10]))
+	eq("bounds on dead OIDs", scan(oids[4], oids[17], 0, false), refRange(oids[4], oids[17]))
+	// lo > hi is empty, not an error.
+	eq("inverted bounds", scan(oids[10], oids[3], 0, false), nil)
+	// Limit truncates to the prefix.
+	eq("limit", scan(1, backend.NilOID, 7, false), live[:7])
+	// Descending is the exact reverse, and desc+limit is the k largest.
+	eq("descending", scan(1, backend.NilOID, 0, true), reverse(live))
+	eq("descending limit", scan(1, backend.NilOID, 5, true), reverse(live)[:5])
+	eq("descending subrange", scan(oids[3], oids[10], 0, true), reverse(refRange(oids[3], oids[10])))
+
+	// Seek: ascending lands on the bound or the next live OID; a dead OID
+	// resolves to its live neighbor in the seek direction.
+	if got, ok := rg.Seek(oids[0], false); !ok || got != oids[0] {
+		t.Fatalf("Seek(first, asc) = %d, %v", got, ok)
+	}
+	if got, ok := rg.Seek(oids[4], false); !ok || got != oids[5] {
+		t.Fatalf("Seek(dead, asc) = %d, %v; want %d", got, ok, oids[5])
+	}
+	if got, ok := rg.Seek(oids[4], true); !ok || got != oids[3] {
+		t.Fatalf("Seek(dead, desc) = %d, %v; want %d", got, ok, oids[3])
+	}
+	if got, ok := rg.Seek(oids[n-1]+1, false); ok {
+		t.Fatalf("Seek(past max, asc) = %d, %v; want none", got, ok)
+	}
+	if got, ok := rg.Seek(oids[n-1]+1, true); !ok || got != oids[n-1] {
+		t.Fatalf("Seek(past max, desc) = %d, %v; want %d", got, ok, oids[n-1])
+	}
+	if got, ok := rg.Seek(backend.NilOID, true); ok {
+		t.Fatalf("Seek(NilOID, desc) = %d, %v; want none", got, ok)
+	}
+
+	// Attribute index: key every live object, replace some keys, delete a
+	// keyed object; ScanKey must agree with the (key, OID)-sorted model.
+	type ent struct {
+		key int64
+		oid backend.OID
+	}
+	model := map[backend.OID]int64{}
+	for i, oid := range live {
+		key := int64(i % 5)
+		if err := rg.SetKey(oid, key); err != nil {
+			t.Fatalf("SetKey(%d, %d): %v", oid, key, err)
+		}
+		model[oid] = key
+	}
+	// Replacement: re-key a few objects; the old entries must vanish.
+	for _, oid := range live[:6] {
+		if err := rg.SetKey(oid, 9); err != nil {
+			t.Fatal(err)
+		}
+		model[oid] = 9
+	}
+	// A keyed object that dies leaves the index.
+	dead := live[len(live)-1]
+	if err := b.Delete(dead); err != nil {
+		t.Fatal(err)
+	}
+	live = live[:len(live)-1]
+	delete(model, dead)
+	if err := rg.SetKey(dead, 1); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("SetKey(dead) = %v, want ErrNoSuchObject", err)
+	}
+	if err := rg.SetKey(9999, 1); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("SetKey(never issued) = %v, want ErrNoSuchObject", err)
+	}
+
+	refKeys := func(lo, hi int64) []backend.OID {
+		ents := []ent{}
+		for oid, k := range model {
+			if k >= lo && k <= hi {
+				ents = append(ents, ent{k, oid})
+			}
+		}
+		sort.Slice(ents, func(i, j int) bool {
+			if ents[i].key != ents[j].key {
+				return ents[i].key < ents[j].key
+			}
+			return ents[i].oid < ents[j].oid
+		})
+		out := []backend.OID{}
+		for _, e := range ents {
+			out = append(out, e.oid)
+		}
+		return out
+	}
+	scanKey := func(lo, hi int64, limit int) []backend.OID {
+		t.Helper()
+		got, err := rg.ScanKey(lo, hi, limit, nil)
+		if err != nil {
+			t.Fatalf("ScanKey(%d, %d, %d): %v", lo, hi, limit, err)
+		}
+		return got
+	}
+	eq("full key scan", scanKey(0, 9, 0), refKeys(0, 9))
+	eq("key subrange", scanKey(1, 3, 0), refKeys(1, 3))
+	eq("single key", scanKey(9, 9, 0), refKeys(9, 9))
+	eq("key limit", scanKey(0, 9, 4), refKeys(0, 9)[:4])
+	eq("inverted key range", scanKey(3, 1, 0), nil)
+	eq("empty key range", scanKey(100, 200, 0), nil)
+
+	// Bit-identical run-to-run: repeated calls must return the same bytes
+	// (catches indexes rebuilt from unordered map iteration).
+	for i := 0; i < 3; i++ {
+		eq("repeated full scan", scan(1, backend.NilOID, 0, false), refRange(1, backend.NilOID))
+		eq("repeated key scan", scanKey(0, 9, 0), refKeys(0, 9))
+	}
+
+	// Scan results fault in cleanly: the index and the object store agree.
+	res := scan(1, backend.NilOID, 0, false)
+	if k, err := b.AccessBatch(res); err != nil || k != len(res) {
+		t.Fatalf("AccessBatch over scan results = %d, %v; want %d", k, err, len(res))
+	}
+}

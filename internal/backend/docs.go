@@ -1,9 +1,9 @@
 // Package backend defines the system-under-test contract of the benchmark:
 // the object protocol every OCB workload drives (the Backend interface),
 // the optional capabilities a store may additionally offer (Placer,
-// Relocator, IOClassifier, Snapshotter/Restorer), and a database/sql-style
-// driver registry so new stores plug in without touching the workload
-// layers.
+// Relocator, IOClassifier, Ranger, Snapshotter/Restorer), and a
+// database/sql-style driver registry so new stores plug in without
+// touching the workload layers.
 //
 // The paper's headline claim is genericity — one parameterized benchmark
 // aimed at arbitrary object stores. This package is where that genericity
@@ -67,6 +67,13 @@
 //     count where available.
 //   - IOClassifier (SetIOClass): routing I/O charges between the
 //     transaction and clustering-overhead accounting classes.
+//   - Ranger (Scan/Seek/SetKey/ScanKey): an ordered index over the live
+//     OID set plus an integer attribute index ordered by (key, OID). The
+//     query workload category (internal/query, `ocb run -scenario
+//     query`) and the compare table's point-lookup/range-scan columns
+//     require it; ops on backends without it record "skipped (no
+//     Ranger)" through the AsRanger helper's ErrNoRanger, which wraps
+//     ErrNotSupported. See "Implementing Ranger" below.
 //   - Snapshotter/Restorer (Image/Restore): persistence of a generated
 //     database across processes (core.Database.Save / core.Load).
 //   - Durable (Close/Reopen): state on stable storage that survives the
@@ -76,6 +83,43 @@
 // Implement the capabilities whose semantics the store genuinely has;
 // never stub one (a Relocate that moves nothing would silently corrupt
 // every clustering experiment run against the driver).
+//
+// # Implementing Ranger
+//
+// The Ranger contract is small but exact, and the conformance suite's
+// capability-gated Ranger section checks every clause against a sorted
+// reference model:
+//
+//   - Scan(lo, hi, limit, desc, dst) returns live OIDs in [lo, hi], both
+//     bounds inclusive, ascending (or exactly reversed with desc),
+//     hi == NilOID meaning "to the end", lo > hi an empty result rather
+//     than an error, and limit > 0 truncating to the first limit hits.
+//     Deleted OIDs never appear. Results append to dst so steady-state
+//     scans with a preallocated buffer stay allocation-free.
+//   - Seek(oid, desc) resolves to the nearest live OID at-or-after
+//     (at-or-before with desc) the bound — dead OIDs resolve to their
+//     live neighbor in the seek direction.
+//   - SetKey(oid, key) binds an int64 attribute, replacing any previous
+//     binding (old index entries must vanish); dead OIDs return
+//     ErrNoSuchObject wrapped. ScanKey(lo, hi, limit, dst) selects by
+//     key range in (key, OID) order with the same bound semantics.
+//   - Index reads charge no I/O. The index answers "which objects";
+//     callers price the objects themselves by faulting the result
+//     (Access/AccessBatch), exactly like the query workload does. An
+//     index that rebuilds lazily (paged keeps an ordered snapshot over
+//     its directory, invalidated by create/delete) must still return
+//     bit-identical results on repeated calls — never expose map order.
+//
+// Two in-tree models: btree, where the structure itself is the index (a
+// B+tree with chained leaves), and paged/internal/store, where a
+// maintained snapshot bolts the capability onto a hash-sharded
+// directory. The wire protocol forwards the whole interface (one op code
+// per method, scans one round trip) when the Hello handshake advertises
+// CapRanger, so remote-over-btree serves scans; the remote driver's
+// client only asserts Ranger when the hosted store has it, which is why
+// its open wraps the plain client in a rangerStore conditionally — Go
+// method sets are static, so "maybe has a capability" must be decided at
+// open time.
 //
 // # Writing a durable driver
 //
@@ -129,9 +173,10 @@
 // above round-trip as status codes so errors.Is behaves identically
 // in-process and remote. Capabilities split into forwarded and degraded:
 //
-//   - Forwarded: IOClassifier and Checker relay to the hosted store when
-//     the Hello handshake reports it has them (a remote SetIOClass or
-//     CheckIntegrity runs server-side).
+//   - Forwarded: IOClassifier, Checker and Ranger relay to the hosted
+//     store when the Hello handshake reports it has them (a remote
+//     SetIOClass, CheckIntegrity or Scan runs server-side; scans return
+//     their whole result in one round trip).
 //   - Degraded: Placer, Relocator, Resharder and Snapshotter/Restorer
 //     are not remoted — they are local-layout and local-file concerns,
 //     and a wire version would either ship whole images or lie about

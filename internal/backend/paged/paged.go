@@ -30,6 +30,7 @@ var (
 	_ backend.IOClassifier = (*store.Store)(nil)
 	_ backend.Snapshotter  = (*store.Store)(nil)
 	_ backend.Restorer     = (*store.Store)(nil)
+	_ backend.Ranger       = (*store.Store)(nil)
 )
 
 func init() {

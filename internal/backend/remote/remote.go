@@ -18,7 +18,9 @@
 // connection never wedges the others.
 //
 // Capabilities: the protocol forwards the full Backend contract plus
-// IOClassifier and Checker (vacuous when the hosted store lacks them).
+// IOClassifier and Checker (vacuous when the hosted store lacks them) and
+// Ranger (present on the client exactly when the handshake advertises it,
+// via a wrapper type).
 // Placement, relocation, resharding and snapshotting are not forwarded —
 // capability-gated experiments see the capability absent and report their
 // usual skip. Close/Reopen (backend.Durable) act on the client: Close
@@ -81,6 +83,12 @@ func open(cfg backend.Config) (backend.Backend, error) {
 	s.hosted = c.hosted
 	s.caps = c.caps
 	s.put(c)
+	if s.caps&wire.CapRanger != 0 {
+		// The Ranger methods live on a wrapper type, so the capability's
+		// type assertion succeeds exactly when the handshake advertises
+		// it — a remote over flatmem stays a plain Backend.
+		return rangerStore{s}, nil
+	}
 	return s, nil
 }
 
@@ -375,6 +383,105 @@ func (s *Store) SetIOClass(c disk.IOClass) {
 // store's self-check server-side; vacuous when it has none.
 func (s *Store) CheckIntegrity() error {
 	return s.call(func(out *wire.Buf) { out.Start(wire.OpCheck) }, decodeEmpty)
+}
+
+// rangerStore is a Store whose server advertised CapRanger: it adds the
+// forwarded backend.Ranger methods, so the capability is discoverable by
+// type assertion iff the hosted store has it. Go method sets are static,
+// which is why the capability needs a distinct wrapper type rather than a
+// conditional method.
+type rangerStore struct {
+	*Store
+}
+
+var _ backend.Ranger = rangerStore{}
+
+// decodeOIDs appends a length-prefixed OID list into dst.
+func decodeOIDs(r *wire.Reader, dst []backend.OID) []backend.OID {
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		dst = append(dst, backend.OID(r.U64()))
+	}
+	return dst
+}
+
+// Scan implements backend.Ranger: the whole range travels back in one
+// response frame — a single round trip, but also a MaxFrame bound, so
+// remote callers should pass a limit on ranges that could span millions
+// of OIDs.
+func (s rangerStore) Scan(lo, hi backend.OID, limit int, desc bool, dst []backend.OID) ([]backend.OID, error) {
+	err := s.call(func(out *wire.Buf) {
+		out.Start(wire.OpScan)
+		out.U64(uint64(lo))
+		out.U64(uint64(hi))
+		out.I64(int64(limit))
+		if desc {
+			out.U8(1)
+		} else {
+			out.U8(0)
+		}
+	}, func(status uint8, r *wire.Reader) error {
+		if status != wire.StatusOK {
+			return wire.DecodeError(status, r.Str())
+		}
+		dst = decodeOIDs(r, dst)
+		return nil
+	})
+	return dst, err
+}
+
+// Seek implements backend.Ranger. Transport failures read as "no such
+// position": the signature has no error channel, matching the in-process
+// semantics where a seek is a pure lookup.
+func (s rangerStore) Seek(oid backend.OID, desc bool) (backend.OID, bool) {
+	found, ok := backend.NilOID, false
+	err := s.call(func(out *wire.Buf) {
+		out.Start(wire.OpSeek)
+		out.U64(uint64(oid))
+		if desc {
+			out.U8(1)
+		} else {
+			out.U8(0)
+		}
+	}, func(status uint8, r *wire.Reader) error {
+		if status != wire.StatusOK {
+			return wire.DecodeError(status, r.Str())
+		}
+		found = backend.OID(r.U64())
+		ok = r.U8() == 1
+		return nil
+	})
+	if err != nil {
+		return backend.NilOID, false
+	}
+	return found, ok
+}
+
+// SetKey implements backend.Ranger.
+func (s rangerStore) SetKey(oid backend.OID, key int64) error {
+	return s.call(func(out *wire.Buf) {
+		out.Start(wire.OpSetKey)
+		out.U64(uint64(oid))
+		out.I64(key)
+	}, decodeEmpty)
+}
+
+// ScanKey implements backend.Ranger: one round trip, same MaxFrame
+// consideration as Scan.
+func (s rangerStore) ScanKey(lo, hi int64, limit int, dst []backend.OID) ([]backend.OID, error) {
+	err := s.call(func(out *wire.Buf) {
+		out.Start(wire.OpScanKey)
+		out.I64(lo)
+		out.I64(hi)
+		out.I64(int64(limit))
+	}, func(status uint8, r *wire.Reader) error {
+		if status != wire.StatusOK {
+			return wire.DecodeError(status, r.Str())
+		}
+		dst = decodeOIDs(r, dst)
+		return nil
+	})
+	return dst, err
 }
 
 // Hosted returns the server-reported driver name behind this client.

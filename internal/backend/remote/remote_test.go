@@ -11,6 +11,7 @@ import (
 
 	"ocb/internal/backend"
 	"ocb/internal/backend/backendtest"
+	_ "ocb/internal/backend/flatmem"
 	_ "ocb/internal/backend/paged"
 	"ocb/internal/backend/remote"
 	"ocb/internal/wire"
@@ -230,16 +231,48 @@ func TestCloseIdempotentAndErrClosed(t *testing.T) {
 }
 
 // TestHostedName pins the handshake metadata: the client learns which
-// driver the server hosts.
+// driver the server hosts — and, since paged advertises CapRanger, the
+// client comes back wrapped with the forwarded Ranger capability.
 func TestHostedName(t *testing.T) {
 	addr := startServer(t)
 	b := openRemote(t, addr)
-	rs, ok := b.(*remote.Store)
+	rs, ok := b.(interface{ Hosted() string })
 	if !ok {
-		t.Fatalf("driver returned %T", b)
+		t.Fatalf("driver returned %T, which does not expose Hosted()", b)
 	}
 	if rs.Hosted() != "paged" {
 		t.Fatalf("Hosted() = %q, want paged", rs.Hosted())
+	}
+	if _, err := backend.AsRanger(b); err != nil {
+		t.Fatalf("remote over paged must forward Ranger: %v", err)
+	}
+}
+
+// TestRangerForwardedIffHosted pins the capability gating: a server over
+// a backend without an ordered index must yield a client without the
+// Ranger capability — the type assertion fails and AsRanger reports
+// ErrNoRanger, exactly like an in-process non-Ranger backend.
+func TestRangerForwardedIffHosted(t *testing.T) {
+	hosted, err := backend.Open("flatmem", backend.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(hosted, "flatmem", nil)
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		_ = backend.Shutdown(hosted)
+	})
+	b := openRemote(t, ln.Addr().String())
+	if _, ok := b.(backend.Ranger); ok {
+		t.Fatal("remote over flatmem claims Ranger")
+	}
+	if _, err := backend.AsRanger(b); !errors.Is(err, backend.ErrNoRanger) {
+		t.Fatalf("AsRanger = %v, want ErrNoRanger", err)
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ocb/internal/backend"
 	"ocb/internal/core"
+	"ocb/internal/lewis"
 	"ocb/internal/report"
 	"ocb/internal/wire"
 )
@@ -45,7 +47,7 @@ func oo1Signature(p core.Params, db *core.Database) (int, error) {
 func Genericity(c Config) (*report.Table, error) {
 	t := report.New("Genericity — one workload, every registered backend (same seed)",
 		"Backend", "Objects visited", "Mean objects per tx", "Mean I/Os per tx",
-		"Mean response (µs)", "DSTC gain")
+		"Mean response (µs)", "Point lookup (µs)", "Range scan (µs)", "DSTC gain")
 
 	n, reps := 60, 3
 	if c.Quick {
@@ -119,13 +121,71 @@ func Genericity(c Config) (*report.Table, error) {
 			gain = report.F2(res.Gain)
 		}
 
+		// The ordered-index columns: zipfian point lookups and OID range
+		// scans through the Ranger capability, or a clearly reported skip
+		// when the backend keeps no index.
+		point, scan := "skipped (no Ranger)", "skipped (no Ranger)"
+		if rg, err := backend.AsRanger(db.Store); err == nil {
+			pt, sc, err := queryProfile(rg, db.Store, p.NO, n, 771+c.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("genericity %s: query profile: %w", name, err)
+			}
+			point, scan = report.F1(pt), report.F1(sc)
+		}
+
 		t.AddRow(rowName, report.Int(visited), report.F1(m.Global.Objects.Mean()),
-			report.F1(m.MeanIOsPerTx()), report.F1(m.Global.Response.Mean()), gain)
+			report.F1(m.MeanIOsPerTx()), report.F1(m.Global.Response.Mean()), point, scan, gain)
 	}
 	t.AddNote("identical workload seed per row; the visited-object signature is backend-invariant by construction")
 	t.AddNote("flatmem is the infinitely-fast-I/O control: zero I/Os isolate navigation cost from faulting cost")
 	t.AddNote("the remote row runs the hosted backend behind a loopback TCP server: its I/O and response columns include real serialization and round-trip cost")
 	return t, nil
+}
+
+// queryProfile measures the ordered-index face of a backend: the mean
+// response, in microseconds, of runs zipfian point lookups (each a Seek
+// resolved through the index plus the Access that faults the object) and
+// of runs OID range scans over a tenth-of-the-database window, faulted
+// with AccessBatch. Index reads charge no I/O by contract, so the
+// difference between backends here is pure index machinery — and, on the
+// remote row, the wire.
+func queryProfile(rg backend.Ranger, st backend.Backend, objects, runs int, seed int64) (point, scan float64, err error) {
+	src := lewis.New(seed)
+	zipf := lewis.NewZipf(0.86)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		target := backend.OID(zipf.Draw(src, 1, objects, 0))
+		oid, ok := rg.Seek(target, false)
+		if !ok {
+			if oid, ok = rg.Seek(target, true); !ok {
+				return 0, 0, fmt.Errorf("ordered index is empty")
+			}
+		}
+		if err := st.Access(oid); err != nil {
+			return 0, 0, err
+		}
+	}
+	point = float64(time.Since(start).Nanoseconds()) / 1e3 / float64(runs)
+
+	span := objects / 10
+	if span < 1 {
+		span = 1
+	}
+	buf := make([]backend.OID, 0, span)
+	start = time.Now()
+	for i := 0; i < runs; i++ {
+		lo := backend.OID(src.IntRange(1, objects-span+1))
+		res, err := rg.Scan(lo, lo+backend.OID(span)-1, 0, false, buf[:0])
+		if err != nil {
+			return 0, 0, err
+		}
+		buf = res[:0]
+		if _, err := st.AccessBatch(res); err != nil {
+			return 0, 0, err
+		}
+	}
+	scan = float64(time.Since(start).Nanoseconds()) / 1e3 / float64(runs)
+	return point, scan, nil
 }
 
 // serveLoopback starts an in-process wire server on a loopback port,

@@ -21,7 +21,7 @@ func TestGenericityTableShape(t *testing.T) {
 		t.Fatalf("got %d rows, want one per registered backend (%d)", tb.NumRows(), len(names))
 	}
 	wantHeaders := []string{"Backend", "Objects visited", "Mean objects per tx",
-		"Mean I/Os per tx", "Mean response (µs)", "DSTC gain"}
+		"Mean I/Os per tx", "Mean response (µs)", "Point lookup (µs)", "Range scan (µs)", "DSTC gain"}
 	if len(tb.Headers) != len(wantHeaders) {
 		t.Fatalf("headers = %v", tb.Headers)
 	}
@@ -61,6 +61,7 @@ func TestGenericityFlatmemSkipsClustering(t *testing.T) {
 		t.Fatal(err)
 	}
 	gainCol := len(tb.Headers) - 1
+	pointCol, scanCol := gainCol-2, gainCol-1
 	foundFlat, foundPaged := false, false
 	for _, row := range tb.Rows() {
 		switch row[0] {
@@ -78,6 +79,29 @@ func TestGenericityFlatmemSkipsClustering(t *testing.T) {
 	}
 	if !foundFlat || !foundPaged {
 		t.Fatalf("rows missing: flatmem=%v paged=%v", foundFlat, foundPaged)
+	}
+
+	// The ordered-index columns are capability-gated the same way:
+	// numeric for the Ranger backends — btree, paged, and the remote row
+	// over a paged host, which gets the capability forwarded — skip lines
+	// for the rest.
+	for _, row := range tb.Rows() {
+		wantRanger := false
+		switch row[0] {
+		case "btree", "paged":
+			wantRanger = true
+		default:
+			wantRanger = strings.HasSuffix(row[0], "(paged)")
+		}
+		for _, col := range []int{pointCol, scanCol} {
+			skipped := row[col] == "skipped (no Ranger)"
+			if wantRanger && skipped {
+				t.Errorf("%s query cell = %q, want a numeric time", row[0], row[col])
+			}
+			if !wantRanger && !skipped {
+				t.Errorf("%s query cell = %q, want the skip line", row[0], row[col])
+			}
+		}
 	}
 }
 

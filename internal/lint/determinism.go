@@ -21,6 +21,7 @@ var deterministicPackages = map[string]bool{
 	"sim":        true,
 	"lewis":      true,
 	"scenarios":  true,
+	"query":      true,
 	"workload":   true,
 	"core":       true,
 	"dstc":       true,

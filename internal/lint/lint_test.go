@@ -16,7 +16,7 @@ func TestSentErr(t *testing.T) {
 }
 
 func TestLockSafe(t *testing.T) {
-	analysistest.Run(t, lint.LockSafe, "testdata/locksafe", "waldisk", "util")
+	analysistest.Run(t, lint.LockSafe, "testdata/locksafe", "waldisk", "util", "btree")
 }
 
 func TestAllocFree(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 // harness into the bottleneck it is supposed to measure.
 var lockScopedPackages = map[string]bool{
 	"paged":   true,
+	"btree":   true,
 	"waldisk": true,
 	"buffer":  true,
 	"wire":    true,

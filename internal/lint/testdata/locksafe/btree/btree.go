@@ -1,0 +1,70 @@
+// Package btree is a locksafe fixture for the ordered-index driver's
+// package scope: the tree's guarded store must not be copied by value —
+// a copied mutex silently stops guarding the shared node structure —
+// and, since btree sits in the analyzer's I/O scope set, no blocking
+// call may run while a node lock is held.
+package btree
+
+import (
+	"os"
+	"sync"
+)
+
+type node struct {
+	keys []uint64
+	next *node
+}
+
+type store struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+func (s store) lookup(k uint64) bool { // want `method lookup passes a lock by value`
+	for _, key := range s.root.keys {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func audit(s store) int { // want `parameter of audit passes a lock by value`
+	n := 0
+	for cur := s.root; cur != nil; cur = cur.next {
+		n += len(cur.keys)
+	}
+	return n
+}
+
+func sweep(shards []store) int {
+	t := 0
+	for _, sh := range shards { // want `range copies a lock by value`
+		t += len(sh.root.keys)
+	}
+	return t
+}
+
+func dump(s *store, f *os.File, b []byte) {
+	s.mu.RLock()
+	f.Write(b) // want `I/O while lock s\.mu is held`
+	s.mu.RUnlock()
+}
+
+func (s *store) size() int { // pointer receiver: ok
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for cur := s.root; cur != nil; cur = cur.next {
+		n += len(cur.keys)
+	}
+	return n
+}
+
+func snapshot(s *store, f *os.File, b []byte) {
+	s.mu.RLock()
+	n := len(s.root.keys)
+	s.mu.RUnlock()
+	_ = n
+	f.Write(b) // outside the critical section: ok
+}

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ocb/internal/backend"
+	_ "ocb/internal/backend/btree"
+	_ "ocb/internal/backend/flatmem"
+	_ "ocb/internal/backend/paged"
+	"ocb/internal/workload"
+)
+
+// smallParams is the CI-sized geometry every determinism test runs on.
+func smallParams() Params {
+	p := DefaultParams()
+	p.NumObjects = 2000
+	p.ScanSpan = 50
+	p.Lookups = 20
+	p.NRuns = 4
+	p.BufferPages = 64
+	return p
+}
+
+// queryRun captures everything observable about one run that must be a
+// pure function of the seed: each client's op stream with object counts,
+// and the per-op aggregate counters.
+type queryRun struct {
+	ops     [][]string // per-client "name:objects" labels in execution order
+	count   []int64    // per-op executed counts
+	objects []int64    // per-op exact object sums
+}
+
+// run generates a fresh database on the named backend and executes the
+// scenario, recording each client's labeled op stream.
+func run(t *testing.T, backendName string, clients, measured int) queryRun {
+	t.Helper()
+	p := smallParams()
+	p.Backend = backendName
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = backend.Shutdown(db.Store) }()
+	if !db.Indexed() {
+		t.Fatalf("backend %q lost its Ranger capability", backendName)
+	}
+	spec := db.Scenario(clients)
+	spec.Measured = measured
+	byClient := make([][]string, max(clients, 1))
+	for i := range spec.Ops {
+		runOp, name := spec.Ops[i].Run, spec.Ops[i].Name
+		spec.Ops[i].Run = func(ctx *workload.Ctx) (int, error) {
+			n, err := runOp(ctx)
+			// Each slice is appended to only by its own client goroutine.
+			byClient[ctx.Client] = append(byClient[ctx.Client], fmt.Sprintf("%s:%d", name, n))
+			return n, err
+		}
+	}
+	res, err := workload.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := queryRun{ops: byClient}
+	for _, om := range res.PerOp {
+		if om.Skipped > 0 {
+			t.Fatalf("op %s skipped %d times on Ranger backend %q", om.Name, om.Skipped, backendName)
+		}
+		out.count = append(out.count, om.Count)
+		out.objects = append(out.objects, om.ObjectsTotal)
+	}
+	return out
+}
+
+// TestCrossBackendDeterministic is the golden the tentpole promises: the
+// same seed produces the identical op stream — names, order and exact
+// object counts — whether the ordered index is a B+tree or paged's
+// maintained snapshot. The index implementation must be invisible to the
+// workload's logical behavior.
+func TestCrossBackendDeterministic(t *testing.T) {
+	onPaged := run(t, "paged", 1, 0)
+	onBtree := run(t, "btree", 1, 0)
+	if !reflect.DeepEqual(onPaged.ops, onBtree.ops) {
+		t.Fatalf("op streams differ across backends:\n paged: %v\n btree: %v",
+			onPaged.ops, onBtree.ops)
+	}
+	if !reflect.DeepEqual(onPaged.count, onBtree.count) ||
+		!reflect.DeepEqual(onPaged.objects, onBtree.objects) {
+		t.Fatalf("per-op aggregates differ across backends:\n paged: %v %v\n btree: %v %v",
+			onPaged.count, onPaged.objects, onBtree.count, onBtree.objects)
+	}
+	// The aggregates are exactly predictable on a delete-free database:
+	// every scan returns its full window, every lookup run all its hits.
+	p := smallParams()
+	want := map[string]int64{
+		"range-scan":  int64(p.NRuns * p.ScanSpan),
+		"attr-select": -1, // key populations vary by seed; pinned by DeepEqual above
+		"hot-lookup":  int64(p.NRuns * p.Lookups),
+	}
+	for i, name := range []string{"range-scan", "attr-select", "hot-lookup"} {
+		if w := want[name]; w >= 0 && onPaged.objects[i] != w {
+			t.Fatalf("%s touched %d objects, want %d", name, onPaged.objects[i], w)
+		}
+	}
+}
+
+// TestClientN4Deterministic pins schedule independence: four concurrent
+// clients in mixed mode, two runs on the same seed, identical per-client
+// op streams and aggregates. Every draw rides the client's private
+// stream, so goroutine interleaving must not leak into any result.
+func TestClientN4Deterministic(t *testing.T) {
+	first := run(t, "btree", 4, 40)
+	second := run(t, "btree", 4, 40)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("identical seeds diverge under CLIENTN=4:\n run 1: %+v\n run 2: %+v", first, second)
+	}
+	total := 0
+	for _, ops := range first.ops {
+		total += len(ops)
+	}
+	if total != 4*40 {
+		t.Fatalf("mixed run executed %d ops, want %d", total, 4*40)
+	}
+}
+
+// TestNonRangerSkips pins the capability gate: on a backend without an
+// ordered index the run completes — nothing fails — but every operation
+// records a skip that names the missing capability.
+func TestNonRangerSkips(t *testing.T) {
+	p := smallParams()
+	p.Backend = "flatmem"
+	db, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = backend.Shutdown(db.Store) }()
+	if db.Indexed() {
+		t.Fatal("flatmem claims an ordered index")
+	}
+	res, err := workload.Run(db.Scenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 0 {
+		t.Fatalf("Executed = %d on a non-Ranger backend, want 0", res.Executed)
+	}
+	for _, om := range res.PerOp {
+		if om.Skipped != int64(p.NRuns) || om.Count != 0 {
+			t.Fatalf("op %s: Skipped = %d, Count = %d; want %d, 0",
+				om.Name, om.Skipped, om.Count, p.NRuns)
+		}
+	}
+	if len(res.Skips) != len(res.PerOp) {
+		t.Fatalf("Skips = %v, want one entry per op", res.Skips)
+	}
+	for _, sk := range res.Skips {
+		if !strings.Contains(sk, "Ranger") {
+			t.Fatalf("skip reason %q does not name the missing capability", sk)
+		}
+	}
+}
+
+// TestGenerationStreamAligned pins the cross-backend generation
+// contract: the size and key draws are consumed identically whether or
+// not the backend keeps an index, so the stream positions — and with
+// them any later draws — agree between a Ranger and a non-Ranger build.
+func TestGenerationStreamAligned(t *testing.T) {
+	p := smallParams()
+	p.Backend = "btree"
+	indexed, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = backend.Shutdown(indexed.Store) }()
+	p.Backend = "flatmem"
+	flat, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = backend.Shutdown(flat.Store) }()
+	for i := 0; i < 16; i++ {
+		want := indexed.src.IntRange(1, 1<<20)
+		if got := flat.src.IntRange(1, 1<<20); got != want {
+			t.Fatalf("draw %d after generation: %d vs %d — streams out of step", i, got, want)
+		}
+	}
+}

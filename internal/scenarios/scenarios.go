@@ -14,6 +14,9 @@
 //     traversal workload, reorganize with DSTC, replay. On backends
 //     without physical relocation the reorganization step reports a skip
 //     and the replay measures the unclustered layout.
+//   - query: the ordered-index category — range scans, attribute
+//     selections and zipfian hot-key lookups over the Ranger capability.
+//     On backends without an ordered index every op reports a skip.
 //
 // Every preset accepts think-time pacing (open or closed loop); all but
 // dstc (a single-user protocol by definition) accept CLIENTN > 1; all
@@ -34,6 +37,7 @@ import (
 	"ocb/internal/hypermodel"
 	"ocb/internal/oo1"
 	"ocb/internal/oo7"
+	"ocb/internal/query"
 	"ocb/internal/workload"
 )
 
@@ -148,6 +152,7 @@ var registry = []struct {
 	{"oo7", "OO7 (small): traversals, queries, insert+delete", buildOO7},
 	{"hypermodel", "HyperModel: 20 operations under setup/cold/warm", buildHyperModel},
 	{"dstc", "DSTC-CluB: observe, recluster, replay (gain factor)", buildDSTC},
+	{"query", "ordered-index queries: range scans, attribute selections, hot-key lookups", buildQuery},
 }
 
 // List returns the preset names in order.
@@ -437,6 +442,45 @@ func buildHyperModel(o Options) (*Scenario, error) {
 		Notes: []string{fmt.Sprintf("database: %d nodes, %d inputs per operation, generated in %s",
 			db.NumNodes(), p.Inputs, db.GenTime.Round(time.Millisecond))},
 		Phases: []Phase{{Name: "bench", Spec: spec}},
+	}, nil
+}
+
+// buildQuery builds the ordered-index query preset. The database and the
+// op streams are identical on every backend; whether the ops execute or
+// report capability skips depends on the backend's Ranger support, and a
+// non-indexed build says so in its notes up front.
+func buildQuery(o Options) (*Scenario, error) {
+	p := query.DefaultParams()
+	if o.Quick {
+		p.NumObjects = 2000
+		p.ScanSpan = 50
+		p.Lookups = 20
+		p.NRuns = 4
+		p.BufferPages = 64
+	}
+	p.Backend = o.Backend
+	p.BackendOptions = o.BackendOptions
+	p.Seed += o.Seed
+	db, err := query.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	spec := db.Scenario(o.clients())
+	if err := applyMix(spec, o); err != nil {
+		_ = backend.Shutdown(db.Store)
+		return nil, err
+	}
+	notes := []string{fmt.Sprintf("database: %d objects in %d key classes, generated in %s",
+		p.NumObjects, p.Classes, db.GenTime.Round(time.Millisecond))}
+	if !db.Indexed() {
+		notes = append(notes, fmt.Sprintf(
+			"backend %q keeps no ordered index: every operation will report a skip", backendLabel(o)))
+	}
+	return &Scenario{
+		Name:        "query",
+		Description: "ordered-index queries: range scans, attribute selections, hot-key lookups",
+		Notes:       notes,
+		Phases:      []Phase{{Name: "bench", Spec: spec}},
 	}, nil
 }
 

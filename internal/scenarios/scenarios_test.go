@@ -70,16 +70,23 @@ func itoa(v int64) string {
 // TestSeedDeterminismGolden is the cross-suite determinism contract: the
 // same seed produces an identical generated object graph and op stream —
 // identical per-op executed counts and accessed-object totals — for every
-// scenario preset, run to run and across both registered backends (the
-// workload is defined over the object graph, not the store).
+// scenario preset, run to run and across two backends (the workload is
+// defined over the object graph, not the store). Most presets compare
+// paged against flatmem; the query preset compares the two Ranger
+// backends instead — on flatmem its ops legitimately all skip, which the
+// dedicated skip test below pins.
 func TestSeedDeterminismGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("determinism sweep skipped in -short mode")
 	}
 	for _, name := range List() {
 		t.Run(name, func(t *testing.T) {
+			pair := []string{"paged", "flatmem"}
+			if name == "query" {
+				pair = []string{"paged", "btree"}
+			}
 			sigs := map[string]string{}
-			for _, be := range []string{"paged", "flatmem"} {
+			for _, be := range pair {
 				a := signature(runPreset(t, name, be))
 				bsig := signature(runPreset(t, name, be))
 				if a != bsig {
@@ -87,11 +94,46 @@ func TestSeedDeterminismGolden(t *testing.T) {
 				}
 				sigs[be] = a
 			}
-			if sigs["paged"] != sigs["flatmem"] {
-				t.Fatalf("%s signature differs across backends:\npaged:\n%s\nflatmem:\n%s",
-					name, sigs["paged"], sigs["flatmem"])
+			if sigs[pair[0]] != sigs[pair[1]] {
+				t.Fatalf("%s signature differs across backends:\n%s:\n%s\n%s:\n%s",
+					name, pair[0], sigs[pair[0]], pair[1], sigs[pair[1]])
 			}
 		})
+	}
+}
+
+// TestQueryScenarioSkipsOnFlatmem pins the capability-gated workload
+// category: on a backend without an ordered index the query preset still
+// builds and runs — nothing fails — but executes zero operations, each
+// op records its skips, and the build notes say why up front.
+func TestQueryScenarioSkipsOnFlatmem(t *testing.T) {
+	sc, err := Build("query", Options{Backend: "flatmem", Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sc.Close() }()
+	noted := false
+	for _, n := range sc.Notes {
+		noted = noted || strings.Contains(n, "no ordered index")
+	}
+	if !noted {
+		t.Fatalf("notes %v do not warn about the missing index", sc.Notes)
+	}
+	results, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0].Result
+	if res.Executed != 0 {
+		t.Fatalf("Executed = %d on flatmem, want 0", res.Executed)
+	}
+	if len(res.Skips) == 0 {
+		t.Fatal("no skip reasons recorded")
+	}
+	for _, sk := range res.Skips {
+		if !strings.Contains(sk, "Ranger") {
+			t.Fatalf("skip reason %q does not name the missing capability", sk)
+		}
 	}
 }
 

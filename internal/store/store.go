@@ -141,6 +141,12 @@ type Store struct {
 	next            atomic.Uint64 // next OID to issue
 	objectsAccessed atomic.Uint64
 
+	// idx is the ordered-index state backing the Ranger capability: a
+	// lazily (re)built ascending live-OID snapshot and attribute-key
+	// index, maintained in ranger.go. idx.mu nests inside s.mu and
+	// outside the table-shard locks.
+	idx rangerIndex
+
 	// scratch pools AccessBatch's per-call working buffers so the batched
 	// fault path allocates nothing in steady state.
 	scratch sync.Pool
@@ -305,11 +311,13 @@ func (s *Store) Create(payloadSize int) (OID, error) {
 			return NilOID, err
 		}
 		s.setLoc(oid, &loc{pages: pages, size: size})
+		s.idx.noteCreate(oid)
 		return oid, nil
 	}
 	if err := s.place(oid, size); err != nil {
 		return NilOID, err
 	}
+	s.idx.noteCreate(oid)
 	return oid, nil
 }
 
@@ -529,6 +537,10 @@ func (s *Store) Delete(oid OID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
 	}
+	// Invalidate the ordered index now, while the table entry is gone; the
+	// first-page rollback below reinstates the object, which merely makes
+	// the invalidation conservative.
+	s.idx.noteDelete(oid)
 	s.placeMu.Lock()
 	defer s.placeMu.Unlock()
 	for i, pid := range l.pages {

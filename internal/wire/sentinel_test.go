@@ -21,6 +21,7 @@ var sentinelTable = map[string]error{
 	"ErrObjectTooLarge": backend.ErrObjectTooLarge,
 	"ErrBadSize":        backend.ErrBadSize,
 	"ErrNotSupported":   backend.ErrNotSupported,
+	"ErrNoRanger":       backend.ErrNoRanger,
 }
 
 // backendSentinelNames parses ../backend and returns the names of its

@@ -197,6 +197,9 @@ func (s *Server) serveOp(op uint8, r *Reader, out *Buf, oids *[]backend.OID) boo
 		if _, ok := s.b.(backend.Checker); ok {
 			caps |= CapChecker
 		}
+		if _, ok := s.b.(backend.Ranger); ok {
+			caps |= CapRanger
+		}
 		out.Start(StatusOK)
 		out.U32(Version)
 		out.U32(caps)
@@ -289,6 +292,82 @@ func (s *Server) serveOp(op uint8, r *Reader, out *Buf, oids *[]backend.OID) boo
 			return true
 		}
 		out.Start(StatusOK)
+	case OpScan:
+		lo := backend.OID(r.U64())
+		hi := backend.OID(r.U64())
+		limit := r.I64()
+		desc := r.U8()
+		if r.Err() != nil {
+			return false
+		}
+		rg, ok := s.b.(backend.Ranger)
+		if !ok {
+			s.fail(out, backend.ErrNoRanger)
+			return true
+		}
+		res, err := rg.Scan(lo, hi, int(limit), desc != 0, (*oids)[:0])
+		*oids = res[:0]
+		if err != nil {
+			s.fail(out, err)
+			return true
+		}
+		out.Start(StatusOK)
+		out.OIDs(res)
+	case OpSeek:
+		oid := backend.OID(r.U64())
+		desc := r.U8()
+		if r.Err() != nil {
+			return false
+		}
+		rg, ok := s.b.(backend.Ranger)
+		if !ok {
+			s.fail(out, backend.ErrNoRanger)
+			return true
+		}
+		found, live := rg.Seek(oid, desc != 0)
+		out.Start(StatusOK)
+		out.U64(uint64(found))
+		if live {
+			out.U8(1)
+		} else {
+			out.U8(0)
+		}
+	case OpSetKey:
+		oid := backend.OID(r.U64())
+		key := r.I64()
+		if r.Err() != nil {
+			return false
+		}
+		rg, ok := s.b.(backend.Ranger)
+		if !ok {
+			s.fail(out, backend.ErrNoRanger)
+			return true
+		}
+		if err := rg.SetKey(oid, key); err != nil {
+			s.fail(out, err)
+			return true
+		}
+		out.Start(StatusOK)
+	case OpScanKey:
+		lo := r.I64()
+		hi := r.I64()
+		limit := r.I64()
+		if r.Err() != nil {
+			return false
+		}
+		rg, ok := s.b.(backend.Ranger)
+		if !ok {
+			s.fail(out, backend.ErrNoRanger)
+			return true
+		}
+		res, err := rg.ScanKey(lo, hi, int(limit), (*oids)[:0])
+		*oids = res[:0]
+		if err != nil {
+			s.fail(out, err)
+			return true
+		}
+		out.Start(StatusOK)
+		out.OIDs(res)
 	default:
 		return false
 	}

@@ -67,6 +67,10 @@ const (
 	OpResetStats
 	OpSetIOClass
 	OpCheck
+	OpScan
+	OpSeek
+	OpSetKey
+	OpScanKey
 	opMax
 )
 
@@ -79,6 +83,7 @@ const (
 	StatusObjectTooLarge
 	StatusBadSize
 	StatusNotSupported
+	StatusNoRanger
 	StatusError
 )
 
@@ -87,6 +92,7 @@ const (
 const (
 	CapIOClassifier uint32 = 1 << iota
 	CapChecker
+	CapRanger
 )
 
 // statusOf maps a server-side error to its wire status.
@@ -100,6 +106,10 @@ func statusOf(err error) uint8 {
 		return StatusObjectTooLarge
 	case errors.Is(err, backend.ErrBadSize):
 		return StatusBadSize
+	case errors.Is(err, backend.ErrNoRanger):
+		// Before ErrNotSupported: ErrNoRanger wraps it, and the more
+		// specific status must win so it round-trips exactly.
+		return StatusNoRanger
 	case errors.Is(err, backend.ErrNotSupported):
 		return StatusNotSupported
 	default:
@@ -119,6 +129,8 @@ func sentinelOf(status uint8) error {
 		return backend.ErrBadSize
 	case StatusNotSupported:
 		return backend.ErrNotSupported
+	case StatusNoRanger:
+		return backend.ErrNoRanger
 	default:
 		return nil
 	}
