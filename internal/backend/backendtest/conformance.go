@@ -25,6 +25,7 @@ func Conformance(t *testing.T, open Opener) {
 	t.Run("StatsExactness", func(t *testing.T) { testStatsExactness(t, open(t)) })
 	t.Run("ResetStats", func(t *testing.T) { testResetStats(t, open(t)) })
 	t.Run("CommitAndDropCache", func(t *testing.T) { testCommitDrop(t, open(t)) })
+	t.Run("CacheCoherence", func(t *testing.T) { testCacheCoherence(t, open(t)) })
 	t.Run("Durability", func(t *testing.T) { testDurability(t, open(t)) })
 	t.Run("Ranger", func(t *testing.T) { testRanger(t, open(t)) })
 }
@@ -328,6 +329,89 @@ func testCommitDrop(t *testing.T, b backend.Backend) {
 	}
 	if k, err := b.AccessBatch(oids); err != nil || k != len(oids) {
 		t.Fatalf("post-restart batch = %d, %v", k, err)
+	}
+}
+
+// testCacheCoherence is the behavior-gated read-cache section. It probes
+// for a cache with the counters alone: if repeat accesses cost as much
+// classified read I/O as cold ones (or the backend charges no read I/O at
+// all), there is nothing to keep coherent and the section skips cleanly.
+// Where a cache is detected, the contract is: DropCache really forgets
+// (the next pass costs more than a warm one), a committed update's object
+// stays fully readable, and a committed delete can never be served from a
+// stale resident copy. Exact I/O counts per mutation are deliberately not
+// pinned here — a write-back page pool may legitimately serve a
+// post-update read with zero I/O where a record cache must re-fault —
+// so those live in each driver's own tests.
+func testCacheCoherence(t *testing.T, b backend.Backend) {
+	const n = 40
+	oids := populate(t, b, n, 100)
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.DropCache()
+	b.ResetStats()
+	accessAll := func() {
+		t.Helper()
+		for _, oid := range oids {
+			if err := b.Access(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	accessAll()
+	coldReads := b.DiskStats().TotalReads()
+	if coldReads == 0 {
+		t.Skip("backend charges no classified read I/O; nothing to cache")
+	}
+	b.ResetStats()
+	accessAll()
+	warmReads := b.DiskStats().TotalReads()
+	if warmReads >= coldReads {
+		t.Skip("repeat accesses cost as much as cold ones; no read cache to keep coherent")
+	}
+
+	// DropCache must really forget: the pass after a drop costs more than
+	// a warm pass (the benchmark's between-phase cold starts depend on it).
+	b.DropCache()
+	b.ResetStats()
+	accessAll()
+	if postReads := b.DiskStats().TotalReads(); postReads <= warmReads {
+		t.Fatalf("pass after DropCache cost %d reads, warm pass %d: DropCache left the cache warm", postReads, warmReads)
+	}
+
+	// Update coherence: the object was just warmed above; after its update
+	// commits it must stay fully readable at its unchanged size.
+	victim := oids[3]
+	if err := b.Update(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Access(victim); err != nil {
+		t.Fatalf("Access after committed update of a cached object: %v", err)
+	}
+	if sz, ok := b.SizeOf(victim); !ok || sz != 100+backend.ObjectHeaderSize {
+		t.Fatalf("SizeOf after committed update = %d, %v", sz, ok)
+	}
+
+	// Delete coherence: a resident copy must not outlive its object.
+	dead := oids[5]
+	if err := b.Access(dead); err != nil { // ensure it is cached
+		t.Fatal(err)
+	}
+	if err := b.Delete(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Access(dead); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("Access of a deleted cached object: err = %v, want ErrNoSuchObject", err)
+	}
+	if b.Exists(dead) {
+		t.Fatal("deleted object still exists via the cache")
 	}
 }
 

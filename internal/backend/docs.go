@@ -163,6 +163,42 @@
 // mid-record and mid-batch (waldisk's FailureHook shows the pattern), and
 // assert policy-invariance of final images across your fsync settings.
 //
+// # Caching reads and compacting history
+//
+// Once the fault path is honest, two subsystems separate a correct
+// durable driver from a fast one (waldisk implements both; its package
+// doc has the full design):
+//
+//   - A read cache. Track which objects are resident (buffer.ObjectCache
+//     is the shared sharded, byte-budgeted LRU built for this) and skip
+//     the disk read on a hit; invalidate on Update/Delete no later than
+//     commit publish, so a resident copy can never outlive or shadow its
+//     object. Size it with a "cachepages" option — that exact key is a
+//     convention the buffer-sweep ablation relies on to dial any
+//     backend's cache through -backend-opt (cachepages=0 must disable) —
+//     and report the budget in Stats().Pages and the hit/miss/eviction
+//     counters in Stats().Pool, which is where the reports and the sweep
+//     read them. DropCache must really forget: the conformance suite's
+//     CacheCoherence section probes for a cache via the I/O counters and
+//     holds every caching backend to the coherence contract (backends
+//     without classified read I/O or without a cache skip it cleanly).
+//
+//   - Compaction. A log-structured store's disk grows with history, not
+//     live data, until something rewrites survivors and deletes dead
+//     segments. Do the work on a background goroutine, never inline with
+//     commits; rewrite through the normal append path so replay order
+//     stays version order; fsync the rewrite before unlinking its victim
+//     whatever the fsync policy; and charge the I/O to the clustering
+//     class so reports price maintenance separately from transactions.
+//     Two subtleties are load-bearing: only ever compact the oldest live
+//     segment (that is what makes dropping its tombstones safe without
+//     scanning the rest of the log), and make every surviving record
+//     self-sufficient for replay — waldisk's update records carry the
+//     object size precisely because the create they supersede may no
+//     longer exist. Readers must never wait: publish immutable index
+//     snapshots and drain in-flight reads (a read gate) before unlinking
+//     files.
+//
 // # Serving a backend over the network
 //
 // Any registered local driver can be hosted behind a TCP listener (`ocb

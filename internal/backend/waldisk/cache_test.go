@@ -1,0 +1,276 @@
+package waldisk_test
+
+// Read-cache behavior: warm hits skip the disk entirely, mutations keep
+// the cache coherent with committed state (the generic conformance
+// section checks coherence portably; the exact I/O counts pinned here are
+// waldisk-specific), DropCache restores the cold state, and the cached
+// Access hot path stays allocation-free.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ocb/internal/backend"
+	"ocb/internal/backend/waldisk"
+)
+
+// populate creates n committed objects and returns their OIDs.
+func populate(t *testing.T, b backend.Backend, n int) []backend.OID {
+	t.Helper()
+	oids := make([]backend.OID, 0, n)
+	for i := 0; i < n; i++ {
+		oid, err := b.Create(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return oids
+}
+
+// TestCacheWarmHitsSkipDisk pins the tentpole behavior: the first Access
+// of a committed object faults it from the log (one classified read);
+// every subsequent Access is served from the cache with zero disk I/O.
+func TestCacheWarmHitsSkipDisk(t *testing.T) {
+	b := open(t)
+	oids := populate(t, b, 50)
+	b.ResetStats()
+	for _, oid := range oids {
+		if err := b.Access(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := b.DiskStats().TotalReads(); r != uint64(len(oids)) {
+		t.Fatalf("cold pass charged %d reads, want %d", r, len(oids))
+	}
+	b.ResetStats()
+	for pass := 0; pass < 3; pass++ {
+		for _, oid := range oids {
+			if err := b.Access(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if r := b.DiskStats().TotalReads(); r != 0 {
+		t.Fatalf("warm passes charged %d reads, want 0", r)
+	}
+	st := b.Stats()
+	if st.Pool.Hits < uint64(3*len(oids)) {
+		t.Fatalf("warm passes counted %d hits, want >= %d", st.Pool.Hits, 3*len(oids))
+	}
+	if st.Pages != waldisk.DefaultCachePages {
+		t.Fatalf("Stats().Pages = %d, want the %d default", st.Pages, waldisk.DefaultCachePages)
+	}
+}
+
+// TestCacheBatchWarm checks the same cold-then-warm shape through
+// AccessBatch: the warm batch must not touch the disk either.
+func TestCacheBatchWarm(t *testing.T) {
+	b := open(t)
+	oids := populate(t, b, 40)
+	b.ResetStats()
+	if _, err := b.AccessBatch(oids); err != nil {
+		t.Fatal(err)
+	}
+	if r := b.DiskStats().TotalReads(); r != uint64(len(oids)) {
+		t.Fatalf("cold batch charged %d reads, want %d", r, len(oids))
+	}
+	b.ResetStats()
+	if _, err := b.AccessBatch(oids); err != nil {
+		t.Fatal(err)
+	}
+	if r := b.DiskStats().TotalReads(); r != 0 {
+		t.Fatalf("warm batch charged %d reads, want 0", r)
+	}
+}
+
+// TestCacheUpdateCoherence is the strict coherence contract: after an
+// update commits, the next Access re-faults the new record from disk —
+// exactly one read, never a stale hit — and the one after that is warm
+// again.
+func TestCacheUpdateCoherence(t *testing.T) {
+	b := open(t)
+	oids := populate(t, b, 10)
+	oid := oids[3]
+	if err := b.Access(oid); err != nil { // warm it
+		t.Fatal(err)
+	}
+	if err := b.Update(oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b.ResetStats()
+	if err := b.Access(oid); err != nil {
+		t.Fatal(err)
+	}
+	if r := b.DiskStats().TotalReads(); r != 1 {
+		t.Fatalf("first Access after update+commit charged %d reads, want exactly 1", r)
+	}
+	if err := b.Access(oid); err != nil {
+		t.Fatal(err)
+	}
+	if r := b.DiskStats().TotalReads(); r != 1 {
+		t.Fatalf("second Access after update+commit charged %d total reads, want the entry back in cache", r)
+	}
+}
+
+// TestCacheDeleteCoherence makes sure a cached entry cannot outlive its
+// object: once the delete commits, Access fails rather than serving the
+// stale resident copy.
+func TestCacheDeleteCoherence(t *testing.T) {
+	b := open(t)
+	oids := populate(t, b, 10)
+	oid := oids[5]
+	if err := b.Access(oid); err != nil { // resident before the delete
+		t.Fatal(err)
+	}
+	if err := b.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Access(oid); !errors.Is(err, backend.ErrNoSuchObject) {
+		t.Fatalf("Access of a deleted cached object: err = %v, want ErrNoSuchObject", err)
+	}
+}
+
+// TestCacheDropCache pins DropCache's meaning on this backend: the warm
+// set is discarded and the next pass faults from disk again, exactly like
+// the benchmark's between-phase cold start wants.
+func TestCacheDropCache(t *testing.T) {
+	b := open(t)
+	oids := populate(t, b, 30)
+	for _, oid := range oids {
+		if err := b.Access(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.DropCache()
+	b.ResetStats()
+	for _, oid := range oids {
+		if err := b.Access(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := b.DiskStats().TotalReads(); r != uint64(len(oids)) {
+		t.Fatalf("post-DropCache pass charged %d reads, want the full %d", r, len(oids))
+	}
+}
+
+// TestCacheDisabled checks the cachepages=0 escape hatch: no cache is
+// built (Stats().Pages reports 0), and every Access pays its read.
+func TestCacheDisabled(t *testing.T) {
+	b := openAt(t, t.TempDir(), map[string]string{"cachepages": "0"})
+	oids := populate(t, b, 20)
+	if got := b.Stats().Pages; got != 0 {
+		t.Fatalf("disabled cache reports Pages = %d, want 0", got)
+	}
+	b.ResetStats()
+	for pass := 0; pass < 2; pass++ {
+		for _, oid := range oids {
+			if err := b.Access(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if r := b.DiskStats().TotalReads(); r != uint64(2*len(oids)) {
+		t.Fatalf("uncached accesses charged %d reads, want %d", r, 2*len(oids))
+	}
+}
+
+// TestCacheEviction squeezes many objects through a tiny budget: the
+// working set cannot all stay resident, so evictions are counted and the
+// warm pass still pays some reads — the gradient the buffer-sweep
+// ablation measures.
+func TestCacheEviction(t *testing.T) {
+	// 2 pages * 4096 = 8192 budget bytes vs 100 objects * 1000 logical
+	// bytes: at most ~8 resident at once.
+	b := openAt(t, t.TempDir(), map[string]string{"cachepages": "2"})
+	oids := populate(t, b, 100)
+	for pass := 0; pass < 2; pass++ {
+		for _, oid := range oids {
+			if err := b.Access(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := b.Stats()
+	if st.Pool.Evictions == 0 {
+		t.Fatal("a 2-page cache over 100 objects evicted nothing")
+	}
+	if r := b.DiskStats().TotalReads(); r <= uint64(len(oids)) {
+		t.Fatalf("thrashing cache charged only %d reads over 2 passes of %d", r, len(oids))
+	}
+}
+
+// TestCacheHitAllocFree pins the cached Access path at zero allocations
+// per hit — the property that lets the warm phase run at memory speed.
+func TestCacheHitAllocFree(t *testing.T) {
+	b := open(t)
+	oids := populate(t, b, 64)
+	for _, oid := range oids {
+		if err := b.Access(oid); err != nil { // make them all resident
+			t.Fatal(err)
+		}
+	}
+	var i int
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := b.Access(oids[i%len(oids)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("cached Access allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestCacheSurvivesReopenCold makes sure the cache is an in-memory
+// artifact only: a reopened store starts cold and re-faults everything,
+// with no cache state leaking through the checkpoint.
+func TestCacheSurvivesReopenCold(t *testing.T) {
+	dir := t.TempDir()
+	b := openAt(t, dir, nil)
+	oids := populate(t, b, 25)
+	for _, oid := range oids {
+		if err := b.Access(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.(*waldisk.Store).Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.(*waldisk.Store).Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := r.(*waldisk.Store)
+	defer s2.Close()
+	s2.ResetStats()
+	for _, oid := range oids {
+		if err := s2.Access(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.DiskStats().TotalReads(); got != uint64(len(oids)) {
+		t.Fatalf("reopened store charged %d reads, want a fully cold %d", got, len(oids))
+	}
+}
+
+// TestCachePagesOption checks that the explicit option beats the default
+// and shows up in Stats().Pages.
+func TestCachePagesOption(t *testing.T) {
+	for _, pages := range []int{1, 16, 1024} {
+		b := openAt(t, t.TempDir(), map[string]string{"cachepages": fmt.Sprintf("%d", pages)})
+		if got := b.Stats().Pages; got != pages {
+			t.Fatalf("cachepages=%d reports Stats().Pages = %d", pages, got)
+		}
+		b.(*waldisk.Store).Close()
+	}
+}

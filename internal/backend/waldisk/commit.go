@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"ocb/internal/backend"
 )
@@ -60,7 +61,10 @@ func (s *Store) Commit() error {
 }
 
 // committer is the group-commit goroutine: each round collapses every
-// queued Commit request into one log append and one fsync.
+// queued Commit request into one log append and one fsync. When a gather
+// window is configured, the round stays open for that long after its
+// first request before flushing — trading a bounded latency bump for
+// fewer, larger fsyncs under concurrency.
 func (s *Store) committer() {
 	defer s.wg.Done()
 	var batch []chan error
@@ -85,6 +89,24 @@ func (s *Store) committer() {
 			}
 		case ch := <-s.reqCh:
 			batch = append(batch, ch)
+			if s.gather > 0 {
+				t := time.NewTimer(s.gather)
+			window:
+				for {
+					select {
+					case ch := <-s.reqCh:
+						batch = append(batch, ch)
+					case <-t.C:
+						break window
+					case <-s.quitCh:
+						// Shutdown cuts the window short; this round still
+						// flushes, and the next loop iteration runs the
+						// final one.
+						break window
+					}
+				}
+				t.Stop()
+			}
 		gather:
 			for {
 				select {
@@ -104,8 +126,12 @@ func (s *Store) committer() {
 
 // flush writes one commit batch: every staged record followed by a commit
 // marker, appended to the current segment as a single write (one write
-// I/O) and fsynced when sync is set. After the append, the committed
-// objects' index entries move to their new durable locations.
+// I/O) and fsynced when sync is set. Once the batch is durable a new
+// index snapshot relocating the committed objects is published, the
+// batch's pending-overlay entries are cleared, and any cached pre-images
+// of updated or deleted objects are retired — in that order, so a
+// concurrent reader can never re-install a stale residency that survives
+// (cacheInstall re-checks the snapshot pointer after its Add).
 func (s *Store) flush(sync bool) error {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
@@ -123,6 +149,8 @@ func (s *Store) flush(sync bool) error {
 	ops := s.staged
 	s.staged = s.spare[:0]
 	s.flushing = len(ops) > 0
+	flushGen := s.gen
+	s.gen++
 	s.mu.Unlock()
 	if len(ops) == 0 {
 		s.spare = ops
@@ -159,25 +187,80 @@ func (s *Store) flush(sync bool) error {
 		}
 	}
 	s.curOff += int64(len(buf))
+	s.segBytes[segID-1] += int64(len(buf))
 	s.writes[s.classIdx()].Add(1)
 
-	// The batch is durable: move each surviving object's home to its new
-	// record. Ops applied in order, so the latest version wins; objects
-	// deleted since staging simply have no entry left to move.
-	s.mu.Lock()
+	// The batch is durable: build the committed delta over the previous
+	// snapshot. Ops applied in order, so the latest version wins.
+	prev := s.snap.Load()
+	delta := make(map[backend.OID]entry, len(ops))
+	var dels map[backend.OID]struct{}
+	net := 0
 	off := base
 	for _, op := range ops {
 		rlen := int32(op.frameLen())
-		if op.op != opDelete {
-			if e, ok := s.index[op.oid]; ok {
+		switch op.op {
+		case opCreate:
+			delta[op.oid] = entry{size: op.size, seg: segID, off: off, rlen: rlen}
+			net++
+		case opUpdate:
+			if e, ok := delta[op.oid]; ok {
 				e.seg, e.off, e.rlen = segID, off, rlen
-				s.index[op.oid] = e
+				delta[op.oid] = e
+			} else if e, ok := prev.resolve(op.oid); ok {
+				e.seg, e.off, e.rlen = segID, off, rlen
+				delta[op.oid] = e
 			}
+			// An object deleted since staging has no version left to move;
+			// the record is dead on arrival, like any superseded version.
+		case opDelete:
+			delete(delta, op.oid)
+			if dels == nil {
+				dels = make(map[backend.OID]struct{})
+			}
+			dels[op.oid] = struct{}{}
+			net--
 		}
 		off += int64(rlen)
 	}
+	s.meterDelta(prev, delta, dels)
+	node := &snapshot{
+		delta:  delta,
+		dels:   dels,
+		base:   prev,
+		segs:   append([]*os.File(nil), s.segs...),
+		count:  prev.count + net,
+		weight: len(delta) + len(dels),
+	}
+	node.mergeUp()
+
+	// Publish and clear the overlay atomically with respect to mu, so a
+	// reader sees each object either pending or in the new snapshot, never
+	// neither. Only entries of this batch's generation are cleared — one
+	// re-staged while the append ran belongs to the next batch.
+	s.mu.Lock()
+	s.snap.Store(node)
+	for _, op := range ops {
+		if p, ok := s.pending[op.oid]; ok && p.gen <= flushGen {
+			delete(s.pending, op.oid)
+		}
+	}
+	s.pendNet -= int64(net)
+	s.pendN.Store(int64(len(s.pending)))
 	s.flushing = false
 	s.mu.Unlock()
+
+	// Retire cached pre-images of every object this batch moved or killed.
+	// After the publish above, a racing reader that re-installs one is
+	// forced (by cacheInstall's snapshot re-check) to validate against the
+	// new snapshot — between the two, no stale residency survives.
+	if s.cache != nil {
+		for _, op := range ops {
+			if op.op != opCreate {
+				s.cache.Invalidate(uint64(op.oid))
+			}
+		}
+	}
 	s.spare = ops
 	return nil
 }
@@ -215,11 +298,12 @@ func (s *Store) fail(err error) error {
 	return werr
 }
 
-// Close implements backend.Durable: stop the committer, flush and fsync
-// everything staged, write the checkpoint and release the files. The
-// store must be quiescent. Closing a store whose log append already
-// failed skips the checkpoint — the in-memory state is ahead of the
-// committed log, and recovery from the segments is the truth.
+// Close implements backend.Durable: stop the committer and the
+// compactor, flush and fsync everything staged, write the checkpoint and
+// release the files. The store must be quiescent. Closing a store whose
+// log append already failed skips the checkpoint — the in-memory state
+// is ahead of the committed log, and recovery from the segments is the
+// truth.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closing || s.closed {
@@ -262,6 +346,9 @@ func (s *Store) Close() error {
 	segs := s.segs
 	s.mu.Unlock()
 	for _, f := range segs {
+		if f == nil {
+			continue
+		}
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
@@ -289,29 +376,65 @@ func (s *Store) Reopen() (backend.Backend, error) {
 	if !closed {
 		return nil, fmt.Errorf("waldisk: Reopen of a store that is still open")
 	}
-	return Open(Config{Dir: s.dir, Policy: s.policy, SegmentSize: s.segSize})
+	c := Config{
+		Dir:          s.dir,
+		Policy:       s.policy,
+		SegmentSize:  s.segSize,
+		PageSize:     s.pageSize,
+		Shards:       s.shards,
+		Gather:       s.gather,
+		CompactEvery: s.compactEvery,
+	}
+	if s.cachePages > 0 {
+		c.CachePages = s.cachePages
+	} else {
+		c.CachePages = -1
+	}
+	if s.compactRatio > 0 {
+		c.CompactRatio = s.compactRatio
+	} else {
+		c.CompactRatio = -1
+	}
+	return Open(c)
+}
+
+// compactOption spells the store's compact ratio as the option value
+// Image round-trips.
+func (s *Store) compactOption() string {
+	if s.compactRatio <= 0 {
+		return "off"
+	}
+	return strconv.FormatFloat(s.compactRatio, 'g', -1, 64)
 }
 
 // Image implements backend.Snapshotter: a store.Image-compatible snapshot
 // of the committed object table. Everything staged is flushed first so
-// the image is self-consistent. The returned Config carries the fsync and
-// segment-size knobs but deliberately not the data directory: restoring
-// an image is a copy into a fresh store, not an alias of the original's
+// the image is self-consistent. The returned Config carries the store's
+// tuning knobs but deliberately not the data directory: restoring an
+// image is a copy into a fresh store, not an alias of the original's
 // files.
 func (s *Store) Image() (*backend.Image, error) {
 	if err := s.flush(true); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	cachepages := "0"
+	if s.cachePages > 0 {
+		cachepages = strconv.Itoa(s.cachePages)
+	}
 	img := &backend.Image{
 		Config: backend.Config{Options: map[string]string{
-			"fsync":   s.policy.String(),
-			"segsize": strconv.FormatInt(s.segSize, 10),
+			"fsync":        s.policy.String(),
+			"segsize":      strconv.FormatInt(s.segSize, 10),
+			"cachepages":   cachepages,
+			"gather":       s.gather.String(),
+			"compact":      s.compactOption(),
+			"compactevery": s.compactEvery.String(),
 		}},
-		NextOID: backend.OID(s.next),
 	}
-	for oid, e := range s.index {
+	s.mu.RLock()
+	img.NextOID = backend.OID(s.next)
+	s.mu.RUnlock()
+	for oid, e := range s.snap.Load().flatten() {
 		img.Objects = append(img.Objects, backend.ImageObject{OID: oid, Size: int(e.size)})
 	}
 	sort.Slice(img.Objects, func(i, j int) bool { return img.Objects[i].OID < img.Objects[j].OID })
@@ -331,7 +454,7 @@ func (s *Store) Restore(img *backend.Image) error {
 		s.mu.Unlock()
 		return err
 	}
-	if len(s.index) != 0 || len(s.staged) != 0 || s.next != 1 {
+	if s.snap.Load().count != 0 || len(s.pending) != 0 || len(s.staged) != 0 || s.next != 1 {
 		s.mu.Unlock()
 		return fmt.Errorf("waldisk: restore into a non-empty store")
 	}
@@ -340,7 +463,8 @@ func (s *Store) Restore(img *backend.Image) error {
 			s.mu.Unlock()
 			return fmt.Errorf("waldisk: corrupt image object %d (size %d)", o.OID, o.Size)
 		}
-		s.index[o.OID] = entry{size: int64(o.Size)}
+		s.pending[o.OID] = pend{size: int64(o.Size), gen: s.gen, state: pendCreated}
+		s.pendNet++
 		s.staged = append(s.staged, stagedOp{op: opCreate, oid: o.OID, size: int64(o.Size)})
 		if uint64(o.OID) >= s.next {
 			s.next = uint64(o.OID) + 1
@@ -349,6 +473,7 @@ func (s *Store) Restore(img *backend.Image) error {
 	if uint64(img.NextOID) > s.next {
 		s.next = uint64(img.NextOID)
 	}
+	s.pendN.Store(int64(len(s.pending)))
 	s.mu.Unlock()
 	if err := s.flush(true); err != nil {
 		return err
@@ -357,48 +482,37 @@ func (s *Store) Restore(img *backend.Image) error {
 	return nil
 }
 
-// CheckIntegrity implements backend.Checker: every index entry's log
+// CheckIntegrity implements backend.Checker: every committed object's log
 // record is read back and verified — frame intact, CRC matching, the
 // record names this object and is a version-bearing op, and a create
 // record's size agrees with the index. Far too slow for the hot path;
 // invaluable after crash recovery.
 func (s *Store) CheckIntegrity() error {
-	// Snapshot the index and segment table under the lock, then read
-	// outside it: log records are immutable once written and segment
-	// files stay open until Close, so the preads need no lock — and a
-	// full-store audit must not stall writers behind file I/O.
-	s.mu.RLock()
-	type auditRec struct {
-		oid backend.OID
-		e   entry
-	}
-	recs := make([]auditRec, 0, len(s.index))
-	for oid, e := range s.index {
-		recs = append(recs, auditRec{oid, e})
-	}
-	segs := append([]*os.File(nil), s.segs...)
-	s.mu.RUnlock()
+	// Resolve one snapshot and read through it: log records are immutable
+	// once written, and the read gate keeps the snapshot's segment files
+	// alive against compaction for the duration — a full-store audit
+	// otherwise takes no lock, so it cannot stall writers behind file I/O.
+	ge := s.gate.enter()
+	defer s.gate.exit(ge)
+	snap := s.snap.Load()
+	idx := snap.flatten()
 
 	var buf [readBufSize]byte
-	for _, rec := range recs {
-		oid, e := rec.oid, rec.e
+	for oid, e := range idx {
 		if e.size < backend.ObjectHeaderSize {
 			return fmt.Errorf("waldisk: object %d: impossible size %d", oid, e.size)
 		}
-		if e.seg == 0 {
-			continue // latest version still staged; nothing durable to audit
-		}
-		if int(e.seg) > len(segs) || e.rlen < frameHeader+9 || e.rlen > readBufSize {
+		if e.seg == 0 || int(e.seg) > len(snap.segs) || snap.segs[e.seg-1] == nil || e.rlen < frameHeader+9 || e.rlen > readBufSize {
 			return fmt.Errorf("waldisk: object %d: record location out of range (seg %d, len %d)", oid, e.seg, e.rlen)
 		}
 		b := buf[:e.rlen]
-		if _, err := segs[e.seg-1].ReadAt(b, e.off); err != nil {
+		if _, err := snap.segs[e.seg-1].ReadAt(b, e.off); err != nil {
 			return fmt.Errorf("waldisk: object %d: reading record: %w", oid, err)
 		}
 		if !validRecordFor(b, oid) {
 			return fmt.Errorf("waldisk: object %d: corrupt record at segment %d offset %d", oid, e.seg, e.off)
 		}
-		if b[frameHeader] == opCreate {
+		if op := b[frameHeader]; op == opCreate || op == opUpdate {
 			if got := int64(binary.LittleEndian.Uint64(b[frameHeader+9 : frameHeader+17])); got != e.size {
 				return fmt.Errorf("waldisk: object %d: record size %d, index says %d", oid, got, e.size)
 			}

@@ -18,9 +18,14 @@ import (
 //	frame:   uint32 payload length | uint32 CRC-32C of payload | payload
 //	payload: op byte, then the op's fields, all little-endian:
 //	  create: oid uint64, size uint64 (header-included stored size)
-//	  update: oid uint64
+//	  update: oid uint64, size uint64 (header-included stored size)
 //	  delete: oid uint64
 //	  commit: sequence uint64
+//
+// Updates carry the object's size even though an update never changes it:
+// compaction may reclaim the segment holding an object's create while a
+// later update record remains its live version, so every size-bearing op
+// must reconstruct the object on its own during replay.
 //
 // Mutations are staged in memory and written only at commit: one batch is
 // the staged records followed by one commit marker, appended and fsynced
@@ -49,7 +54,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // payloadLen returns the op's payload length.
 func (o stagedOp) payloadLen() int {
-	if o.op == opCreate {
+	if o.op == opCreate || o.op == opUpdate {
 		return 17
 	}
 	return 9
@@ -72,7 +77,7 @@ func appendOp(dst []byte, op stagedOp) []byte {
 	var p [maxPayload]byte
 	p[0] = op.op
 	binary.LittleEndian.PutUint64(p[1:9], uint64(op.oid))
-	if op.op == opCreate {
+	if op.op == opCreate || op.op == opUpdate {
 		binary.LittleEndian.PutUint64(p[9:17], uint64(op.size))
 	}
 	return appendRecord(dst, p[:op.payloadLen()])
@@ -103,8 +108,10 @@ func validRecordFor(buf []byte, oid backend.OID) bool {
 	return backend.OID(binary.LittleEndian.Uint64(payload[1:9])) == oid
 }
 
-// openSegments discovers and opens the directory's segment files,
-// requiring contiguous numbering from 1 (gaps mean a tampered directory).
+// openSegments discovers and opens the directory's segment files. Gaps in
+// the numbering are compacted-away segments and leave nil holes in the
+// table (segment ids are never reused, so the slot stays addressable);
+// the highest-numbered segment must exist — it is the append target.
 func (s *Store) openSegments() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -122,23 +129,26 @@ func (s *Store) openSegments() error {
 		}
 		ids = append(ids, id)
 	}
+	if len(ids) == 0 {
+		return nil
+	}
 	sort.Ints(ids)
-	for i, id := range ids {
-		if id != i+1 {
-			return fmt.Errorf("waldisk: segment files not contiguous: found %s, want %s", segName(uint32(id)), segName(uint32(i+1)))
-		}
+	s.segs = make([]*os.File, ids[len(ids)-1])
+	for _, id := range ids {
 		f, err := os.OpenFile(s.segPath(uint32(id)), os.O_RDWR, 0o644)
 		if err != nil {
+			s.closeSegs()
 			return fmt.Errorf("waldisk: opening segment: %w", err)
 		}
-		s.segs = append(s.segs, f)
+		s.segs[id-1] = f
 	}
 	return nil
 }
 
 // addSegment creates the next segment file and installs it as the append
-// target. Called under logMu once the store is live; the segment table
-// mutation takes mu so concurrent readers stay safe.
+// target. Called under logMu once the store is live; readers never touch
+// s.segs directly (they resolve through a snapshot's own copy), so no
+// other lock is needed.
 func (s *Store) addSegment() (*os.File, error) {
 	id := uint32(len(s.segs) + 1)
 	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
@@ -149,9 +159,9 @@ func (s *Store) addSegment() (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
-	s.mu.Lock()
 	s.segs = append(s.segs, f)
-	s.mu.Unlock()
+	s.segLive = append(s.segLive, 0)
+	s.segBytes = append(s.segBytes, 0)
 	s.curOff = 0
 	return f, nil
 }
@@ -196,6 +206,9 @@ func (s *Store) recoverLog(startSeg uint32, startOff int64) error {
 	tornSeg := 0
 	for si := int(startSeg); si <= len(s.segs) && !torn; si++ {
 		f := s.segs[si-1]
+		if f == nil {
+			continue // compacted away; nothing to replay
+		}
 		fi, err := f.Stat()
 		if err != nil {
 			return fmt.Errorf("waldisk: sizing segment %d: %w", si, err)
@@ -241,13 +254,13 @@ func (s *Store) recoverLog(startSeg uint32, startOff int64) error {
 				s.recovery.BatchesReplayed++
 				staged = staged[:0]
 				committedEnd = off + int64(rlen)
-			case op == opCreate && plen == 17:
+			case (op == opCreate || op == opUpdate) && plen == 17:
 				staged = append(staged, replayRec{
 					op: op, oid: oid,
 					size: int64(binary.LittleEndian.Uint64(payload[9:17])),
 					seg:  uint32(si), off: off, rlen: rlen,
 				})
-			case (op == opUpdate || op == opDelete) && plen == 9:
+			case op == opDelete && plen == 9:
 				staged = append(staged, replayRec{op: op, oid: oid, seg: uint32(si), off: off, rlen: rlen})
 			default:
 				torn = true
@@ -276,6 +289,9 @@ func (s *Store) recoverLog(startSeg uint32, startOff int64) error {
 		// Segments past the tear are beyond the last committed state.
 		for si := tornSeg + 1; si <= len(s.segs); si++ {
 			f := s.segs[si-1]
+			if f == nil {
+				continue
+			}
 			if fi, err := f.Stat(); err == nil {
 				s.recovery.TailBytesTruncated += fi.Size()
 			}
@@ -286,23 +302,32 @@ func (s *Store) recoverLog(startSeg uint32, startOff int64) error {
 		}
 		s.segs = s.segs[:tornSeg]
 	}
+	// The append target must be a real file; if the tail segment was a
+	// compacted-away hole (possible when a tear cut back to one), roll a
+	// fresh one.
+	if len(s.segs) == 0 || s.segs[len(s.segs)-1] == nil {
+		for len(s.segs) > 0 && s.segs[len(s.segs)-1] == nil {
+			s.segs = s.segs[:len(s.segs)-1]
+		}
+		if _, err := s.addSegment(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// applyReplay applies one committed batch to the index.
+// applyReplay applies one committed batch to the index. Updates upsert —
+// compaction may have reclaimed the object's create, leaving a later
+// size-bearing update as its only surviving record — and every op bumps
+// the OID counter so reclaimed creates can never cause OID reuse.
 func (s *Store) applyReplay(recs []replayRec) {
 	for _, r := range recs {
+		if uint64(r.oid) >= s.next {
+			s.next = uint64(r.oid) + 1
+		}
 		switch r.op {
-		case opCreate:
+		case opCreate, opUpdate:
 			s.index[r.oid] = entry{size: r.size, seg: r.seg, off: r.off, rlen: r.rlen}
-			if uint64(r.oid) >= s.next {
-				s.next = uint64(r.oid) + 1
-			}
-		case opUpdate:
-			if e, ok := s.index[r.oid]; ok {
-				e.seg, e.off, e.rlen = r.seg, r.off, r.rlen
-				s.index[r.oid] = e
-			}
 		case opDelete:
 			delete(s.index, r.oid)
 		}
@@ -315,8 +340,9 @@ func (s *Store) applyReplay(recs []replayRec) {
 // position it covers, so the next Open skips replaying history the
 // checkpoint already summarizes. The file is written to a temporary name,
 // fsynced and renamed, and is CRC-protected: an invalid or missing
-// checkpoint simply falls back to full replay (segments are never
-// compacted away, so the log alone always suffices).
+// checkpoint simply falls back to full replay (compaction rewrites a
+// segment's survivors to the log head before deleting its file, so the
+// surviving log alone always suffices).
 const ckptName = "checkpoint.ocb"
 
 var ckptMagic = [8]byte{'O', 'C', 'B', 'W', 'A', 'L', '1', 0}
@@ -332,12 +358,14 @@ func (s *Store) ckptPath() string { return filepath.Join(s.dir, ckptName) }
 // holds logMu; the store must have no staged mutations.
 func (s *Store) writeCheckpoint() error {
 	s.mu.RLock()
-	if len(s.staged) != 0 {
-		s.mu.RUnlock()
+	dirty := len(s.staged) != 0 || len(s.pending) != 0
+	s.mu.RUnlock()
+	if dirty {
 		return fmt.Errorf("waldisk: checkpoint with staged mutations")
 	}
-	oids := make([]backend.OID, 0, len(s.index))
-	for oid := range s.index {
+	idx := s.snap.Load().flatten()
+	oids := make([]backend.OID, 0, len(idx))
+	for oid := range idx {
 		oids = append(oids, oid)
 	}
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
@@ -349,9 +377,8 @@ func (s *Store) writeCheckpoint() error {
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(s.curOff))
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(oids)))
 	for _, oid := range oids {
-		e := s.index[oid]
+		e := idx[oid]
 		if e.seg == 0 {
-			s.mu.RUnlock()
 			return fmt.Errorf("waldisk: checkpoint found object %d without a durable record", oid)
 		}
 		payload = binary.LittleEndian.AppendUint64(payload, uint64(oid))
@@ -360,7 +387,6 @@ func (s *Store) writeCheckpoint() error {
 		payload = binary.LittleEndian.AppendUint64(payload, uint64(e.off))
 		payload = binary.LittleEndian.AppendUint32(payload, uint32(e.rlen))
 	}
-	s.mu.RUnlock()
 
 	tmp := s.ckptPath() + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -418,7 +444,7 @@ func (s *Store) loadCheckpoint() (startSeg uint32, startOff int64) {
 	lastSeg := binary.LittleEndian.Uint32(payload[24:28])
 	lastOff := int64(binary.LittleEndian.Uint64(payload[28:36]))
 	count := binary.LittleEndian.Uint64(payload[36:44])
-	if lastSeg == 0 || int(lastSeg) > len(s.segs) || uint64(len(payload)-44) != count*ckptEntrySize {
+	if lastSeg == 0 || int(lastSeg) > len(s.segs) || s.segs[lastSeg-1] == nil || uint64(len(payload)-44) != count*ckptEntrySize {
 		return 1, 0
 	}
 	idx := make(map[backend.OID]entry, count)
@@ -431,7 +457,7 @@ func (s *Store) loadCheckpoint() (startSeg uint32, startOff int64) {
 			off:  int64(binary.LittleEndian.Uint64(p[20:28])),
 			rlen: int32(binary.LittleEndian.Uint32(p[28:32])),
 		}
-		if oid == backend.NilOID || e.seg == 0 || int(e.seg) > len(s.segs) || e.size <= 0 {
+		if oid == backend.NilOID || e.seg == 0 || int(e.seg) > len(s.segs) || s.segs[e.seg-1] == nil || e.size <= 0 {
 			return 1, 0
 		}
 		idx[oid] = e

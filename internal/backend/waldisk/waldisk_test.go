@@ -60,11 +60,14 @@ func TestConformancePolicies(t *testing.T) {
 	}
 }
 
-// TestOptions covers the strict option surface: dir/fsync/segsize are
+// TestOptions covers the strict option surface: every known key is
 // accepted, unknown keys are rejected naming the valid set, and bad
 // values for the known keys are diagnosed with the valid values named.
 func TestOptions(t *testing.T) {
-	b := openAt(t, t.TempDir(), map[string]string{"fsync": "always", "segsize": "4096"})
+	b := openAt(t, t.TempDir(), map[string]string{
+		"fsync": "always", "segsize": "4096", "cachepages": "16",
+		"gather": "200us", "compact": "0.5", "compactevery": "50ms",
+	})
 	s := b.(*waldisk.Store)
 	if s.FsyncPolicy() != waldisk.PolicyAlways {
 		t.Fatalf("fsync option ignored: policy %v", s.FsyncPolicy())
@@ -78,7 +81,7 @@ func TestOptions(t *testing.T) {
 	if unknown.Key != "bogus" {
 		t.Fatalf("unknown-option error names key %q", unknown.Key)
 	}
-	for _, valid := range []string{"dir", "fsync", "segsize"} {
+	for _, valid := range []string{"dir", "fsync", "segsize", "cachepages", "gather", "compact", "compactevery"} {
 		found := false
 		for _, v := range unknown.Valid {
 			if v == valid {
@@ -100,12 +103,95 @@ func TestOptions(t *testing.T) {
 			t.Fatalf("segsize=%q accepted", bad)
 		}
 	}
-	// The typed geometry hints are ignored, not rejected, as on flatmem.
+	// Bad values for the new keys are rejected with the expectation named.
+	for key, cases := range map[string][]string{
+		"cachepages":   {"-1", "lots", "1.5"},
+		"gather":       {"-1ms", "soon", "5"},
+		"compact":      {"0", "1.5", "-0.3", "maybe"},
+		"compactevery": {"0s", "-5ms", "often"},
+	} {
+		for _, bad := range cases {
+			if _, err := backend.Open(waldisk.Name, backend.Config{Options: map[string]string{key: bad}}); err == nil {
+				t.Fatalf("%s=%q accepted", key, bad)
+			} else if !strings.Contains(err.Error(), key) {
+				t.Fatalf("%s=%q error does not name the option: %v", key, bad, err)
+			}
+		}
+	}
+	// Boundary values that must be accepted: cachepages=0 disables the
+	// cache, compact=off disables compaction, gather=0s disables the
+	// gather window.
+	for _, ok := range []map[string]string{
+		{"cachepages": "0"}, {"compact": "off"}, {"gather": "0s"}, {"compact": "1"},
+	} {
+		bb := openAt(t, t.TempDir(), ok)
+		bb.(*waldisk.Store).Close()
+	}
+	// The typed geometry hints are not rejected: PageSize and Shards size
+	// the read cache, BufferPages is the paged pool's knob and is ignored.
 	if bb, err := backend.Open(waldisk.Name, backend.Config{PageSize: 4096, BufferPages: 512, Shards: 8,
 		Options: map[string]string{"dir": t.TempDir()}}); err != nil {
-		t.Fatalf("typed geometry hints must be ignored: %v", err)
+		t.Fatalf("typed geometry hints must be accepted: %v", err)
 	} else {
 		bb.(*waldisk.Store).Close()
+	}
+}
+
+// TestGatherWindow smokes the commit-gather option: with a window open,
+// concurrent committers coalesce into fewer physical flushes, and every
+// commit that returned success is durable across a reopen. The batching
+// itself is timing-dependent, so the hard assertions are correctness
+// ones; the write counter is only checked for the upper bound (one flush
+// per commit) that must hold regardless of scheduling.
+func TestGatherWindow(t *testing.T) {
+	dir := t.TempDir()
+	b := openAt(t, dir, map[string]string{"fsync": "group", "gather": "500us"})
+	s := b.(*waldisk.Store)
+	const (
+		workers = 8
+		perW    = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if _, err := s.Create(64); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := s.Stats().Objects; got != workers*perW {
+		t.Fatalf("committed %d objects, want %d", got, workers*perW)
+	}
+	if w := s.DiskStats().TotalWrites(); w == 0 || w > workers*perW {
+		t.Fatalf("%d commits produced %d write batches, want 1..%d", workers*perW, w, workers*perW)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := s.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := rb.(*waldisk.Store)
+	defer s2.Close()
+	if got := s2.Stats().Objects; got != workers*perW {
+		t.Fatalf("reopened %d objects, want %d", got, workers*perW)
+	}
+	if err := s2.CheckIntegrity(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -278,6 +278,9 @@ func TestPoolInvariant(t *testing.T) {
 		t.Run(pol.String(), func(t *testing.T) {
 			d, ids := newDisk(t, 20)
 			p, _ := New(d, 5, pol)
+			// Prime the counters: quick may generate an empty sequence
+			// first, and the liveness clause below needs at least one Get.
+			mustGet(t, p, ids[0])
 			f := func(seq []uint8) bool {
 				for _, b := range seq {
 					id := ids[int(b)%len(ids)]

@@ -76,7 +76,7 @@ func BufferSweep(c Config) (*report.Table, error) {
 	for i, b := range buffers {
 		p := c.mimicParams()
 		p.BufferPages = b
-		db, err := core.Generate(p)
+		db, err := generateWithCacheBudget(p, b)
 		if err != nil {
 			return nil, fmt.Errorf("buffer sweep %d: %w", b, err)
 		}
@@ -97,6 +97,27 @@ func BufferSweep(c Config) (*report.Table, error) {
 			report.F2(st.Pool.HitRatio()), report.Int(st.Pages))
 	}
 	return t, nil
+}
+
+// generateWithCacheBudget generates the sweep database with the frame
+// budget applied to whichever cache the driver actually has: drivers
+// whose read cache is sized by their own "cachepages" backend option
+// (waldisk) get the budget through it, page-pool drivers through the
+// typed BufferPages hint. The option spelling is tried first; a driver
+// that rejects the key falls back to the plain generate, so the sweep
+// stays backend-agnostic.
+func generateWithCacheBudget(p core.Params, pages int) (*core.Database, error) {
+	opts := make(map[string]string, len(p.BackendOptions)+1)
+	for k, v := range p.BackendOptions {
+		opts[k] = v
+	}
+	opts["cachepages"] = fmt.Sprintf("%d", pages)
+	po := p
+	po.BackendOptions = opts
+	if db, err := core.Generate(po); err == nil {
+		return db, nil
+	}
+	return core.Generate(p)
 }
 
 // MultiClient reproduces ablation A3: OCB's multi-user mode (CLIENTN > 1),
