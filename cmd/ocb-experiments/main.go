@@ -15,7 +15,7 @@
 // selects a comma-separated subset of:
 //
 //	table1 table2 table3 fig4 table4 table5 genericity compare types
-//	policies buffer clients scale scenarios reverse dstc-sens oo1
+//	policies buffer clients scale scenarios load reverse dstc-sens oo1
 //	hypermodel oo7 all
 //
 // `compare` is the cross-backend genericity table: the same workload seed
@@ -56,6 +56,7 @@ var experiments = []struct {
 	{"clients", "A3: multi-client scaling", exp.MultiClient},
 	{"scale", "multi-client scalability sweep (sharded store, shared database)", exp.Scalability},
 	{"scenarios", "every scenario preset through the unified workload engine", exp.Scenarios},
+	{"load", "latency under load: open-loop arrival-rate ladder + max sustainable rate per local backend", exp.Load},
 	{"reverse", "A4: forward vs reversed traversals", exp.Reverse},
 	{"dstc-sens", "A5: DSTC parameter sensitivity", exp.DSTCSensitivity},
 	{"generic", "A6: fully generic workload (Section 5 extension)", exp.GenericWorkload},

@@ -12,13 +12,18 @@
 //
 //	ocb run -scenario oo1|oo7|hypermodel|dstc|ocb [flags]
 //	ocb run -scenario-file spec.json [flags]
+//	ocb sweep -scenario oo1 -clients 1,2,4 -rates 500,1000 [flags]
 //	ocb scenarios
 //	ocb serve -addr host:port -backend paged [flags]
 //
 // `ocb run` executes a scenario preset — any of the benchmark suites, or
 // a user-authored JSON mix — through the unified workload engine and
 // prints one result table per phase (throughput, latency quantiles,
-// per-op breakdown, capability skips). `ocb scenarios` lists the presets.
+// per-op breakdown, capability skips); a spec file with an "slo" block
+// makes it a performance test (non-zero exit on violation). `ocb sweep`
+// drives one scenario across a CLIENTN × arrival-rate grid (or, with
+// -search-p95, binary-searches the max sustainable rate) and prints the
+// latency-under-load table. `ocb scenarios` lists the presets.
 // `ocb serve` hosts any local backend on a TCP address so other ocb
 // processes can benchmark it via `-backend remote -backend-opt addr=...`.
 // Without a subcommand, ocb runs the classic flag-configured protocol.
@@ -48,6 +53,12 @@ func main() {
 		case "run":
 			if err := runScenario(os.Args[2:]); err != nil {
 				fmt.Fprintf(os.Stderr, "ocb run: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "sweep":
+			if err := sweepScenario(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ocb sweep: %v\n", err)
 				os.Exit(1)
 			}
 			return

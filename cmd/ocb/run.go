@@ -34,7 +34,10 @@ func runScenario(args []string) error {
 	fs.Var(&backendOpts, "backend-opt", "backend-specific option key=value (repeatable)")
 	clients := fs.Int("clients", 0, "CLIENTN: concurrent clients (0 keeps the preset default)")
 	think := fs.Duration("think", 0, "THINK latency between operations")
+	thinkDist := fs.String("think-dist", "", "stochastic pacing: lewis distribution for the inter-op gaps (negexp:0.5, selfsimilar, ...)")
 	openLoop := fs.Bool("openloop", false, "open-loop pacing: fixed arrival schedule of one op per THINK")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate target, ops/sec across all clients (latency from scheduled arrival; exclusive with -think)")
+	tolerateErrors := fs.Bool("tolerate-errors", false, "count op failures as errors instead of aborting the run")
 	warmup := fs.Int("warmup", 0, "untimed warmup operations per client (needs -measured; COLDN for ocb)")
 	measured := fs.Int("measured", 0, "sampled mix: measured operations per client (HOTN for ocb)")
 	quick := fs.Bool("quick", false, "scaled-down geometry (seconds instead of minutes)")
@@ -57,7 +60,10 @@ func runScenario(args []string) error {
 		Seed:           *seed,
 		Clients:        *clients,
 		Think:          *think,
+		ThinkDist:      *thinkDist,
 		OpenLoop:       *openLoop,
+		Rate:           *rate,
+		TolerateErrors: *tolerateErrors,
 		Warmup:         *warmup,
 		Measured:       *measured,
 	}
@@ -85,11 +91,21 @@ func runScenario(args []string) error {
 	if err != nil {
 		return err
 	}
+	violated := 0
 	for _, pr := range results {
 		if pr.SetupNote != "" {
 			fmt.Printf("%s\n\n", pr.SetupNote)
 		}
 		printResult(pr.Result)
+		for _, v := range pr.Violations {
+			violated++
+			fmt.Printf("SLO VIOLATION [%s] %s\n", pr.Phase, v)
+		}
+	}
+	if violated > 0 {
+		// The violation error is what makes a scenario file with an "slo"
+		// block a performance test: `ocb run` exits non-zero on it.
+		return fmt.Errorf("%d SLO violation(s)", violated)
 	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec drops a scenario spec file into a temp dir.
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSLOGateExitStatus pins the performance-test contract end to end
+// through the run entry point: a scenario file whose SLO the run meets
+// returns nil (exit 0 from main), one whose SLO it cannot meet returns a
+// violation error (exit 1) — with the violations named in it.
+func TestRunSLOGateExitStatus(t *testing.T) {
+	// Generous bounds on a tiny run: passes on any machine.
+	pass := writeSpec(t, `{
+		"scenario": "oo1",
+		"quick": true,
+		"measured": 40,
+		"slo": {"p95_us": 60000000, "min_ops_per_sec": 0.001}
+	}`)
+	if err := runScenario([]string{"-scenario-file", pass}); err != nil {
+		t.Fatalf("passing SLO returned error: %v", err)
+	}
+
+	// An unreachable throughput floor: violates on any machine.
+	fail := writeSpec(t, `{
+		"scenario": "oo1",
+		"quick": true,
+		"measured": 40,
+		"slo": {"min_ops_per_sec": 1e12}
+	}`)
+	err := runScenario([]string{"-scenario-file", fail})
+	if err == nil {
+		t.Fatal("violated SLO returned nil (would exit 0)")
+	}
+	if !strings.Contains(err.Error(), "SLO violation") {
+		t.Fatalf("violation error %q does not name the SLO", err)
+	}
+}
+
+// TestRunRateFlag drives the -rate path through the CLI entry: an
+// arrival-rate run completes and still enforces its SLO.
+func TestRunRateFlag(t *testing.T) {
+	spec := writeSpec(t, `{
+		"scenario": "oo1",
+		"quick": true,
+		"measured": 40,
+		"slo": {"p95_us": 60000000}
+	}`)
+	if err := runScenario([]string{"-scenario-file", spec, "-rate", "2000", "-think-dist", "negexp:0.5"}); err != nil {
+		t.Fatalf("rate-paced run failed: %v", err)
+	}
+}
+
+// TestRunRejectsRateWithThink: the flag conflict surfaces as an error,
+// not a silent preference.
+func TestRunRejectsRateWithThink(t *testing.T) {
+	spec := writeSpec(t, `{"scenario": "oo1", "quick": true, "measured": 10}`)
+	if err := runScenario([]string{"-scenario-file", spec, "-rate", "100", "-think", "1ms"}); err == nil {
+		t.Fatal("rate+think accepted")
+	}
+}
+
+// TestSweepSubcommand drives `ocb sweep` over a tiny grid and the
+// rate-search mode; both must complete against the quick oo1 build.
+func TestSweepSubcommand(t *testing.T) {
+	if err := sweepScenario([]string{
+		"-scenario", "oo1", "-quick", "-measured", "30",
+		"-clients", "1,2", "-rates", "4000",
+	}); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	if err := sweepScenario([]string{
+		"-scenario", "oo1", "-quick", "-measured", "30",
+		"-search-p95", "60000000", "-rate-max", "4000",
+	}); err != nil {
+		t.Fatalf("rate search failed: %v", err)
+	}
+}
+
+// TestSweepSLOGateExitStatus: a swept SLO violation propagates as an
+// error from the subcommand, same contract as run.
+func TestSweepSLOGateExitStatus(t *testing.T) {
+	fail := writeSpec(t, `{
+		"scenario": "oo1",
+		"quick": true,
+		"measured": 20,
+		"slo": {"min_ops_per_sec": 1e12}
+	}`)
+	if err := sweepScenario([]string{"-scenario-file", fail, "-clients", "1"}); err == nil {
+		t.Fatal("violated sweep returned nil (would exit 0)")
+	}
+}

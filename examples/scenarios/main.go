@@ -53,5 +53,11 @@ func main() {
 		for _, sk := range r.Skips {
 			fmt.Printf("  skip: %s\n", sk)
 		}
+		for _, v := range pr.Violations {
+			fmt.Printf("  SLO VIOLATION: %s\n", v)
+		}
+	}
+	if scenarios.Violated(results) {
+		log.Fatal("scenario failed its SLO")
 	}
 }

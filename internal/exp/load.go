@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"ocb/internal/backend"
+	"ocb/internal/report"
+	"ocb/internal/scenarios"
+	"ocb/internal/workload"
+)
+
+// Load is the latency-under-load experiment: the OO1 mixed workload
+// driven at a ladder of open-loop arrival rates — latency measured from
+// scheduled arrival, so queueing delay past the knee is in the
+// quantiles, not omitted — against every registered local backend, one
+// row per backend × rate. After the ladder, workload.FindMaxRate
+// binary-searches each backend's highest sustainable rate with P95 under
+// a bound; the verdicts land in the notes. This is the capacity question
+// the sweep answers that a saturation benchmark cannot: not "how fast
+// can it go" but "how hard can you push it before the tail lets go".
+//
+// Exposed as the `load` experiment of cmd/ocb-experiments.
+func Load(c Config) (*report.Table, error) {
+	rates := []float64{1000, 2000, 4000, 8000}
+	measured, p95Bound := 300, 10000.0
+	if c.Quick {
+		rates = []float64{1000, 4000}
+		measured = 80
+	}
+	t := report.New("Load — OO1 mix under open-loop arrival rates (latency from scheduled arrival)",
+		"Backend", "Target ops/s", "Achieved ops/s", "P50 µs", "P95 µs", "P99 µs", "Mean I/Os per op")
+
+	names := backend.ListLocal()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no local backends registered (missing driver bundle import?)")
+	}
+	for _, name := range names {
+		sc, err := scenarios.Build("oo1", scenarios.Options{
+			Backend:        name,
+			BackendOptions: c.optionsFor(name),
+			Quick:          true, // the load curve needs rate pressure, not geometry scale
+			Seed:           c.Seed,
+			Measured:       measured,
+			Warmup:         20,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+		spec := sc.Phases[len(sc.Phases)-1].Spec
+		points, err := workload.Sweep(spec, workload.SweepOptions{Rates: rates})
+		if err != nil {
+			_ = sc.Close()
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+		for _, pt := range points {
+			r := pt.Result
+			t.AddRow(name, report.F1(pt.Rate), report.F1(r.Throughput),
+				report.F1(r.P50()), report.F1(r.P95()), report.F1(r.P99()),
+				report.F1(r.MeanIOsPerOp()))
+		}
+		search, err := workload.FindMaxRate(spec, workload.RateSearch{
+			P95BoundUs: p95Bound,
+			MaxRate:    2 * rates[len(rates)-1],
+			MaxProbes:  8,
+			Tolerance:  0.2,
+		})
+		if err != nil {
+			_ = sc.Close()
+			return nil, fmt.Errorf("load %s: rate search: %w", name, err)
+		}
+		if search.MaxRate > 0 {
+			t.AddNote("%s: max sustainable rate %.0f ops/s at P95 <= %.0fµs (%d probes)",
+				name, search.MaxRate, p95Bound, len(search.Probes))
+		} else {
+			t.AddNote("%s: no rate in the bracket held P95 <= %.0fµs", name, p95Bound)
+		}
+		if err := sc.Close(); err != nil {
+			return nil, fmt.Errorf("load %s: close: %w", name, err)
+		}
+	}
+	t.AddNote("open loop: arrivals follow the schedule whether or not the backend keeps up, so past-the-knee rows show queueing delay, not fewer ops")
+	t.AddNote("same seed per row ladder: each backend faces an identical op stream at every rate")
+	return t, nil
+}
+
+// optionsFor passes the user's -backend-opt settings to the selected
+// driver only; other rows of a multi-backend table open with defaults.
+func (c Config) optionsFor(name string) map[string]string {
+	if name == c.backendName() {
+		return c.BackendOptions
+	}
+	return nil
+}

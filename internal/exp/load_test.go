@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// TestLoadCoversEveryLocalBackendAndRate pins the latency-under-load
+// table's shape: one row per local backend × ladder rate, numeric
+// latency and throughput cells, and a rate-search note per backend.
+func TestLoadCoversEveryLocalBackendAndRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load ladder skipped in -short mode")
+	}
+	tb, err := Load(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals := backend.ListLocal()
+	perBackend := map[string]int{}
+	for _, row := range tb.Rows() {
+		perBackend[row[0]]++
+		// Achieved throughput and the quantiles must parse as numbers.
+		for _, cell := range row[2:6] {
+			if cellFloat(t, cell) < 0 {
+				t.Fatalf("negative measurement in row %v", row)
+			}
+		}
+	}
+	if len(perBackend) != len(locals) {
+		t.Fatalf("table covers %d backends, registry has %d local: %v", len(perBackend), len(locals), perBackend)
+	}
+	for _, name := range locals {
+		if perBackend[name] != 2 { // quick ladder has two rates
+			t.Fatalf("backend %s has %d rows, want 2", name, perBackend[name])
+		}
+	}
+}

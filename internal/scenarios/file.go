@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"ocb/internal/workload"
 )
 
 // FileSpec is the JSON form of a user-authored scenario: a base preset
@@ -18,12 +20,14 @@ import (
 //	  "measured": 200,
 //	  "warmup": 20,
 //	  "think": "2ms",
+//	  "think_dist": "negexp:0.5",
 //	  "open_loop": true,
 //	  "seed": 7,
 //	  "ops": [
 //	    {"name": "lookup", "weight": 3},
 //	    {"name": "traversal", "weight": 1}
-//	  ]
+//	  ],
+//	  "slo": {"p95_us": 5000, "min_ops_per_sec": 100}
 //	}
 //
 // Setting "measured" switches a suite preset from its fixed program to a
@@ -31,6 +35,14 @@ import (
 // named operations only (unknown names are rejected naming the valid
 // set). For the ocb preset, op weights map onto the transaction-type
 // probabilities and "measured"/"warmup" override HOTN/COLDN.
+//
+// "rate" selects open-loop arrival-rate pacing (ops/sec across all
+// clients, latency from scheduled arrival; exclusive with "think");
+// "think_dist" draws the pacing gaps from a lewis distribution;
+// "tolerate_errors" turns op failures into counted errors; "slo"
+// declares the pass/fail bounds that make the file a performance test —
+// `ocb run` exits non-zero when a phase violates them. See
+// internal/workload docs.go for the full load-model schema.
 type FileSpec struct {
 	Scenario       string            `json:"scenario"`
 	Backend        string            `json:"backend,omitempty"`
@@ -41,9 +53,20 @@ type FileSpec struct {
 	Warmup         int               `json:"warmup,omitempty"`
 	Measured       int               `json:"measured,omitempty"`
 	// Think is a Go duration string ("2ms", "150us").
-	Think    string   `json:"think,omitempty"`
-	OpenLoop bool     `json:"open_loop,omitempty"`
-	Ops      []FileOp `json:"ops,omitempty"`
+	Think string `json:"think,omitempty"`
+	// ThinkDist is a lewis.ParseDistribution spec for stochastic pacing
+	// gaps ("negexp:0.5", "selfsimilar", "uniform", ...).
+	ThinkDist string `json:"think_dist,omitempty"`
+	OpenLoop  bool   `json:"open_loop,omitempty"`
+	// Rate is the open-loop arrival-rate target in ops/sec across all
+	// clients.
+	Rate float64 `json:"rate,omitempty"`
+	// TolerateErrors counts op failures instead of aborting the run.
+	TolerateErrors bool     `json:"tolerate_errors,omitempty"`
+	Ops            []FileOp `json:"ops,omitempty"`
+	// SLO declares pass/fail bounds: run-level "p95_us", "p99_us",
+	// "min_ops_per_sec", "max_error_rate", plus "per_op" keyed by op name.
+	SLO *workload.SLO `json:"slo,omitempty"`
 }
 
 // FileOp names one operation of the base preset with its new weight
@@ -88,6 +111,18 @@ func (f *FileSpec) options(base Options) (Options, error) {
 			return o, fmt.Errorf("scenarios: bad think duration %q: %w", f.Think, err)
 		}
 		o.Think = d
+	}
+	if f.ThinkDist != "" {
+		o.ThinkDist = f.ThinkDist
+	}
+	if f.Rate != 0 {
+		o.Rate = f.Rate
+	}
+	if f.TolerateErrors {
+		o.TolerateErrors = true
+	}
+	if f.SLO != nil {
+		o.SLO = f.SLO
 	}
 	if len(f.Ops) > 0 {
 		// Naming an op keeps it in the mix; a positive weight or count

@@ -56,6 +56,22 @@ type Options struct {
 	// Think and OpenLoop select think-time pacing for every phase.
 	Think    time.Duration
 	OpenLoop bool
+	// Rate selects open-loop arrival-rate pacing for every phase: Rate
+	// ops/sec across all clients, latency measured from scheduled
+	// arrival. Mutually exclusive with Think.
+	Rate float64
+	// ThinkDist makes the pacing stochastic: a lewis distribution spec
+	// ("negexp:0.5", "selfsimilar", ...) for the inter-operation gaps,
+	// drawn around Think (or the Rate interval) from dedicated per-client
+	// streams — deterministic, and the op streams stay identical to
+	// constant pacing.
+	ThinkDist string
+	// TolerateErrors turns op failures into per-op error counts instead
+	// of aborting the run (the load-test stance; see workload.Spec).
+	TolerateErrors bool
+	// SLO attaches pass/fail bounds to every phase; violations surface in
+	// each PhaseResult (and as a non-zero exit from `ocb run`).
+	SLO *workload.SLO
 	// Warmup and Measured switch suite presets from their fixed program
 	// to a sampled mix of Measured ops per client after Warmup untimed
 	// ones. For the ocb preset they override COLDN and HOTN instead (its
@@ -100,6 +116,20 @@ type PhaseResult struct {
 	SetupNote    string
 	SetupSkipped bool
 	Result       *workload.Result
+	// Violations is the phase spec's SLO evaluated against the result
+	// (empty when no SLO is declared or the phase met it). Run reports
+	// them and keeps going: the caller decides what a violation costs.
+	Violations []workload.Violation
+}
+
+// Violated reports whether any phase failed its SLO.
+func Violated(results []PhaseResult) bool {
+	for _, pr := range results {
+		if len(pr.Violations) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Close releases the scenario's system under test (every phase of a
@@ -136,6 +166,7 @@ func (s *Scenario) Run() ([]PhaseResult, error) {
 			return out, fmt.Errorf("scenario %s: phase %s: %w", s.Name, ph.Name, err)
 		}
 		pr.Result = res
+		pr.Violations = ph.Spec.SLO.Evaluate(res)
 		out = append(out, pr)
 	}
 	return out, nil
@@ -179,10 +210,79 @@ func Describe(name string) string {
 func Build(name string, o Options) (*Scenario, error) {
 	for _, e := range registry {
 		if e.name == name {
-			return e.build(o)
+			s, err := e.build(o)
+			if err != nil {
+				return nil, err
+			}
+			if err := applyLoadModel(s, o); err != nil {
+				_ = s.Close()
+				return nil, err
+			}
+			return s, nil
 		}
 	}
 	return nil, fmt.Errorf("scenarios: unknown scenario %q (valid: %v)", name, List())
+}
+
+// applyLoadModel applies the load-model options every preset shares —
+// arrival rate, stochastic pacing, error tolerance and SLO bounds — to
+// each built phase. It lives here, after the preset builders, so every
+// preset (the fixed dstc protocol included: pacing and bounds never
+// change what a workload does, only how it is issued and judged) gets
+// identical semantics from one code path.
+func applyLoadModel(s *Scenario, o Options) error {
+	if o.Rate == 0 && o.ThinkDist == "" && !o.TolerateErrors && o.SLO.Empty() {
+		return nil
+	}
+	if o.Rate < 0 {
+		return fmt.Errorf("scenarios: negative arrival rate %g", o.Rate)
+	}
+	if o.Rate > 0 && o.Think > 0 {
+		return fmt.Errorf("scenarios: rate and think are mutually exclusive (a rate target sets the arrival interval itself)")
+	}
+	if err := o.SLO.Validate(); err != nil {
+		return fmt.Errorf("scenarios: %w", err)
+	}
+	for i := range s.Phases {
+		spec := s.Phases[i].Spec
+		if o.Rate > 0 {
+			spec.Rate = o.Rate
+			spec.Think = 0
+		}
+		if o.ThinkDist != "" {
+			spec.ThinkDist = o.ThinkDist
+		}
+		if o.TolerateErrors {
+			spec.TolerateErrors = true
+		}
+		if !o.SLO.Empty() {
+			// A per-op bound naming an op no phase has is a spec mistake,
+			// caught here rather than surfacing as a confusing
+			// "measured_ops" violation after a full run.
+			for name := range o.SLO.PerOp {
+				if !hasOp(spec, name) {
+					valid := make([]string, 0, len(spec.Ops))
+					for _, op := range spec.Ops {
+						valid = append(valid, op.Name)
+					}
+					return fmt.Errorf("scenarios: slo names op %q, but phase %s has no such operation (valid: %v)",
+						name, s.Phases[i].Name, valid)
+				}
+			}
+			spec.SLO = o.SLO
+		}
+	}
+	return nil
+}
+
+// hasOp reports whether the spec has an op with the given name.
+func hasOp(spec *workload.Spec, name string) bool {
+	for _, op := range spec.Ops {
+		if op.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // backendLabel names the effective backend driver.

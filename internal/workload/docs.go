@@ -4,7 +4,7 @@ package workload
 //
 // This package is the one place that knows how to *run* a benchmark;
 // a scenario contributes only what makes it itself. Writing one means
-// answering four questions.
+// answering five questions.
 //
 // # 1. What is the build phase?
 //
@@ -66,6 +66,41 @@ package workload
 // bit-identical to a pre-engine implementation, hand client 0 the
 // database's own generation stream through Spec.Source and derive
 // streams for the rest (the convention is seed + client*104729).
+//
+// # 5. How hard is it driven?
+//
+// The default is a saturation run: each client issues its next op the
+// moment the previous one returns. That answers "how fast can it go" —
+// for "how does it behave under realistic traffic" the Spec carries a
+// load model, all of it optional and none of it visible to your ops:
+//
+//   - Think pauses each client between ops (closed loop: the pause runs
+//     after completion, so it never counts toward latency). ThinkDist
+//     replaces the constant pause with a distribution spec in lewis
+//     syntax ("negexp:0.5", "uniform", "selfsimilar:0.2") whose mean is
+//     Think. Pacing draws come from dedicated per-client streams, never
+//     ctx.Src, so op streams are bit-identical to the constant-Think
+//     run — the scenario goldens rely on that.
+//   - Rate drives the run open loop at a target arrival rate in ops/sec
+//     across all clients. Arrivals follow the schedule whether or not
+//     the backend keeps up, and latency is measured from the *scheduled*
+//     arrival, so queueing delay past the saturation knee lands in the
+//     quantiles instead of being coordinated-omitted. Rate and Think are
+//     mutually exclusive; ThinkDist under Rate jitters the arrival gaps
+//     around the rate's mean.
+//   - SLO declares pass/fail bounds (P95Us, P99Us, MinOpsPerSec,
+//     MaxErrorRate, plus per-op bounds) evaluated against the Result
+//     after the run — see slo.go. Scenario files set them in a "slo"
+//     block and `ocb run` exits non-zero on violations, which is what
+//     makes a scenario a CI performance test.
+//   - TolerateErrors converts op failures into an Errors tick (excluded
+//     from latency and throughput) instead of aborting — for overload
+//     scenarios where shed load is the measurement, paired with a
+//     MaxErrorRate bound.
+//
+// Sweep runs one Spec across a clients × rate grid, and FindMaxRate
+// binary-searches the highest rate that holds a P95 bound — both in
+// sweep.go, surfaced as `ocb sweep` and the `load` experiment.
 //
 // # Wiring it up
 //

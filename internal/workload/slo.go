@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SLOBound is one set of pass/fail limits, evaluated against a Result's
+// aggregates (or one op's). Zero-valued fields assert nothing, with one
+// exception: MaxErrorRate is a pointer precisely so that an explicit 0
+// ("no errors tolerated") is distinguishable from unset.
+type SLOBound struct {
+	// P95Us bounds the 95th-percentile response time, in microseconds.
+	// Equality passes: "P95 under 2000µs" means P95 <= 2000.
+	P95Us float64 `json:"p95_us,omitempty"`
+	// P99Us bounds the 99th-percentile response time, in microseconds.
+	P99Us float64 `json:"p99_us,omitempty"`
+	// MinOpsPerSec is the throughput floor, in successful operations per
+	// second of measured wall clock. Meaningful on the whole run only
+	// (per-op throughput is a mix artifact, not a capacity figure).
+	MinOpsPerSec float64 `json:"min_ops_per_sec,omitempty"`
+	// MaxErrorRate caps tolerated failures over attempted operations,
+	// Errors / (Count + Errors). Capability skips are in neither term: a
+	// backend legitimately lacking an optional capability is not an error.
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+}
+
+// empty reports whether the bound asserts nothing.
+func (b *SLOBound) empty() bool {
+	return b.P95Us == 0 && b.P99Us == 0 && b.MinOpsPerSec == 0 && b.MaxErrorRate == nil
+}
+
+// validate reports the first nonsensical limit.
+func (b *SLOBound) validate(label string) error {
+	if b.P95Us < 0 || b.P99Us < 0 || b.MinOpsPerSec < 0 {
+		return fmt.Errorf("slo %s: negative bound", label)
+	}
+	if b.MaxErrorRate != nil && (*b.MaxErrorRate < 0 || *b.MaxErrorRate > 1) {
+		return fmt.Errorf("slo %s: max_error_rate must be in [0, 1]", label)
+	}
+	return nil
+}
+
+// SLO declares the pass/fail criteria a scenario run must meet: bounds on
+// the whole run, plus optional per-op bounds keyed by op name. The engine
+// records; Evaluate judges — callers (scenario runners, `ocb run`) decide
+// what a violation costs (typically a non-zero exit).
+type SLO struct {
+	SLOBound
+	// PerOp holds bounds for individual ops, keyed by Op.Name. An op that
+	// has a bound but executed zero operations (and was not skipped for a
+	// missing capability) violates it: silence is not compliance.
+	PerOp map[string]SLOBound `json:"per_op,omitempty"`
+}
+
+// Empty reports whether the SLO (possibly nil) asserts nothing.
+func (s *SLO) Empty() bool {
+	if s == nil {
+		return true
+	}
+	if !s.SLOBound.empty() {
+		return false
+	}
+	for _, b := range s.PerOp {
+		if !b.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate reports the first nonsensical bound. Nil-safe.
+func (s *SLO) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if err := s.SLOBound.validate("run"); err != nil {
+		return err
+	}
+	for name, b := range s.PerOp {
+		if err := b.validate(fmt.Sprintf("op %q", name)); err != nil {
+			return err
+		}
+		if b.MinOpsPerSec > 0 {
+			return fmt.Errorf("slo op %q: min_ops_per_sec is a run-level bound (per-op throughput is a mix artifact)", name)
+		}
+	}
+	return nil
+}
+
+// Violation is one failed SLO assertion: which scope (the run, or one op),
+// which metric, the bound and the measured value.
+type Violation struct {
+	// Scope is "run" or the op name.
+	Scope string
+	// Metric names the violated bound: "p95_us", "p99_us",
+	// "min_ops_per_sec", "max_error_rate" or "measured_ops".
+	Metric string
+	// Bound and Got are the limit and the measurement, in the metric's
+	// unit (µs, ops/s, or a rate in [0,1]).
+	Bound, Got float64
+}
+
+// String renders the violation for reports and error output.
+func (v Violation) String() string {
+	switch v.Metric {
+	case "min_ops_per_sec":
+		return fmt.Sprintf("%s: throughput %.1f ops/s below floor %.1f", v.Scope, v.Got, v.Bound)
+	case "max_error_rate":
+		return fmt.Sprintf("%s: error rate %.4f above cap %.4f", v.Scope, v.Got, v.Bound)
+	case "measured_ops":
+		return fmt.Sprintf("%s: bound declared but zero operations measured", v.Scope)
+	default:
+		return fmt.Sprintf("%s: %s %.1fµs above bound %.1fµs", v.Scope, v.Metric, v.Got, v.Bound)
+	}
+}
+
+// Evaluate judges a Result against the SLO and returns every violation,
+// run-level first, then per-op bounds in sorted op-name order (map order
+// must not leak into reports or goldens). A nil or empty SLO passes
+// everything. Bounds are inclusive: a P95 exactly at the limit passes.
+//
+// A run-level bound over zero measured operations is itself a violation
+// ("measured_ops"): an SLO that was never exercised must not read as met.
+// A per-op bound whose op only recorded capability skips is exempt — the
+// backend declaredly cannot run it, which the scenario layer reports
+// separately as a skip, not a failure.
+func (s *SLO) Evaluate(r *Result) []Violation {
+	if s.Empty() {
+		return nil
+	}
+	var out []Violation
+	out = append(out, s.SLOBound.check("run", r.Total.Count, r.Total.Skipped, func() (p95, p99 float64) {
+		return r.P95(), r.P99()
+	}, r.Throughput, r.ErrorRate())...)
+
+	names := make([]string, 0, len(s.PerOp))
+	for name := range s.PerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := s.PerOp[name]
+		if b.empty() {
+			continue
+		}
+		m := findOp(r, name)
+		if m == nil {
+			// A bound on an op the spec does not have can never be
+			// exercised; surface it rather than silently passing.
+			out = append(out, Violation{Scope: name, Metric: "measured_ops"})
+			continue
+		}
+		out = append(out, b.check(name, m.Count, m.Skipped, func() (p95, p99 float64) {
+			return m.ResponseQ.P95(), m.ResponseQ.P99()
+		}, 0, errorRate(m.Errors, m.Count))...)
+	}
+	return out
+}
+
+// check evaluates one bound at one scope. quantiles is lazy: P95/P99 sort
+// the retained sample, and most scopes bound neither.
+func (b *SLOBound) check(scope string, count, skipped int64, quantiles func() (p95, p99 float64), throughput, errRate float64) []Violation {
+	if b.empty() {
+		return nil
+	}
+	if count == 0 {
+		if skipped > 0 {
+			// Every attempt was a capability skip: exempt, reported as a
+			// skip by the caller.
+			return nil
+		}
+		return []Violation{{Scope: scope, Metric: "measured_ops"}}
+	}
+	var out []Violation
+	if b.P95Us > 0 || b.P99Us > 0 {
+		p95, p99 := quantiles()
+		if b.P95Us > 0 && p95 > b.P95Us {
+			out = append(out, Violation{Scope: scope, Metric: "p95_us", Bound: b.P95Us, Got: p95})
+		}
+		if b.P99Us > 0 && p99 > b.P99Us {
+			out = append(out, Violation{Scope: scope, Metric: "p99_us", Bound: b.P99Us, Got: p99})
+		}
+	}
+	if b.MinOpsPerSec > 0 && throughput < b.MinOpsPerSec {
+		out = append(out, Violation{Scope: scope, Metric: "min_ops_per_sec", Bound: b.MinOpsPerSec, Got: throughput})
+	}
+	if b.MaxErrorRate != nil && errRate > *b.MaxErrorRate {
+		out = append(out, Violation{Scope: scope, Metric: "max_error_rate", Bound: *b.MaxErrorRate, Got: errRate})
+	}
+	return out
+}
+
+// findOp locates an op's aggregate by name.
+func findOp(r *Result, name string) *OpMetrics {
+	for i := range r.PerOp {
+		if r.PerOp[i].Name == name {
+			return &r.PerOp[i]
+		}
+	}
+	return nil
+}

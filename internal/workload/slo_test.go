@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ocb/internal/backend"
+)
+
+// runWithSLO executes a small mixed run with the given SLO attached and
+// returns the violations Evaluate reports.
+func runWithSLO(t *testing.T, slo *SLO, ops []Op, measured int) ([]Violation, *Result) {
+	t.Helper()
+	be := testBackend(t, 20)
+	res, err := Run(&Spec{
+		Name:     "slo",
+		Backend:  be,
+		Measured: measured,
+		Seed:     1,
+		SLO:      slo,
+		Ops:      ops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slo.Evaluate(res), res
+}
+
+func okOp(name string, weight float64) Op {
+	return Op{Name: name, Weight: weight, Run: func(*Ctx) (int, error) { return 1, nil }}
+}
+
+func TestSLONilAndEmptyPass(t *testing.T) {
+	var nilSLO *SLO
+	if !nilSLO.Empty() {
+		t.Fatal("nil SLO not empty")
+	}
+	if v := nilSLO.Evaluate(&Result{}); v != nil {
+		t.Fatalf("nil SLO violations: %v", v)
+	}
+	empty := &SLO{PerOp: map[string]SLOBound{"x": {}}}
+	if !empty.Empty() {
+		t.Fatal("all-zero SLO not empty")
+	}
+	if v := empty.Evaluate(&Result{}); v != nil {
+		t.Fatalf("empty SLO violations: %v", v)
+	}
+}
+
+// TestSLOZeroMeasuredOpsViolates: a bound over a run that measured
+// nothing is a violation, not a silent pass — an unexercised SLO must
+// not read as met.
+func TestSLOZeroMeasuredOpsViolates(t *testing.T) {
+	slo := &SLO{SLOBound: SLOBound{P95Us: 1000}}
+	v := slo.Evaluate(&Result{})
+	if len(v) != 1 || v[0].Metric != "measured_ops" || v[0].Scope != "run" {
+		t.Fatalf("violations = %v, want one run/measured_ops", v)
+	}
+	if !strings.Contains(v[0].String(), "zero operations") {
+		t.Fatalf("violation string %q", v[0])
+	}
+}
+
+// TestSLOSkippedOpExempt: a per-op bound on an op the backend skipped for
+// a missing capability is exempt — the skip is reported separately, and
+// punishing it as an SLO failure would make optional capabilities
+// mandatory.
+func TestSLOSkippedOpExempt(t *testing.T) {
+	zero := 0.0
+	slo := &SLO{PerOp: map[string]SLOBound{
+		"nocap": {P95Us: 1000, MaxErrorRate: &zero},
+	}}
+	ops := []Op{
+		okOp("ok", 1),
+		{Name: "nocap", Weight: 1, Run: func(*Ctx) (int, error) {
+			return 0, fmt.Errorf("%w: no such capability", backend.ErrNotSupported)
+		}},
+	}
+	v, res := runWithSLO(t, slo, ops, 50)
+	if len(v) != 0 {
+		t.Fatalf("violations = %v, want none (op skipped, not failed)", v)
+	}
+	if res.PerOp[1].Skipped == 0 {
+		t.Fatal("nocap never skipped; test is vacuous")
+	}
+	// Skips also stay out of the error rate.
+	if res.ErrorRate() != 0 {
+		t.Fatalf("error rate = %v; capability skips counted as errors", res.ErrorRate())
+	}
+}
+
+// TestSLOBoundaryEqualityPasses: bounds are inclusive — a measurement
+// exactly at the limit passes.
+func TestSLOBoundaryEqualityPasses(t *testing.T) {
+	res := &Result{Throughput: 100}
+	res.Total.Count = 10
+	for i := 0; i < 10; i++ {
+		res.Total.ResponseQ.Add(2000) // every observation exactly 2000µs
+	}
+	rate := 0.0
+	slo := &SLO{SLOBound: SLOBound{
+		P95Us:        2000, // P95 == bound
+		MinOpsPerSec: 100,  // throughput == floor
+		MaxErrorRate: &rate,
+	}}
+	if v := slo.Evaluate(res); len(v) != 0 {
+		t.Fatalf("violations at exact boundary: %v", v)
+	}
+	// One microsecond past the bound violates.
+	slo.P95Us = 1999
+	v := slo.Evaluate(res)
+	if len(v) != 1 || v[0].Metric != "p95_us" {
+		t.Fatalf("violations = %v, want one p95_us", v)
+	}
+}
+
+func TestSLOViolationsSortedAndComplete(t *testing.T) {
+	zero := 0.0
+	slo := &SLO{
+		SLOBound: SLOBound{MinOpsPerSec: 1e12},
+		PerOp: map[string]SLOBound{
+			"zeta":  {P99Us: 0.000001},
+			"alpha": {MaxErrorRate: &zero},
+			"ghost": {P95Us: 1}, // not in the spec: must surface, not pass
+		},
+	}
+	ops := []Op{
+		okOp("alpha", 1),
+		{Name: "zeta", Weight: 1, Run: func(*Ctx) (int, error) { return 0, fmt.Errorf("always fails") }},
+	}
+	be := testBackend(t, 20)
+	res, err := Run(&Spec{
+		Name: "sorted", Backend: be, Measured: 40, Seed: 2,
+		TolerateErrors: true, SLO: slo,
+		Ops: ops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := slo.Evaluate(res)
+	// Run-level first, then per-op in sorted name order: alpha's errors
+	// (zeta errored, alpha didn't — alpha passes), ghost's absence, zeta's
+	// latency. alpha has no errors so only run, ghost, zeta violate.
+	var got []string
+	for _, viol := range v {
+		got = append(got, viol.Scope+"/"+viol.Metric)
+	}
+	want := []string{"run/min_ops_per_sec", "ghost/measured_ops", "zeta/measured_ops"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("violations = %v, want %v", got, want)
+	}
+}
+
+// TestSLOPerOpErrorRate: per-op error rates are computed over that op's
+// attempts alone.
+func TestSLOPerOpErrorRate(t *testing.T) {
+	limit := 0.1
+	slo := &SLO{PerOp: map[string]SLOBound{"flaky": {MaxErrorRate: &limit}}}
+	calls := 0
+	ops := []Op{
+		okOp("ok", 3),
+		{Name: "flaky", Weight: 1, Run: func(*Ctx) (int, error) {
+			calls++
+			if calls%2 == 0 {
+				return 0, fmt.Errorf("flake")
+			}
+			return 1, nil
+		}},
+	}
+	be := testBackend(t, 20)
+	res, err := Run(&Spec{
+		Name: "perop", Backend: be, Measured: 80, Seed: 3,
+		TolerateErrors: true, SLO: slo, Ops: ops,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := slo.Evaluate(res)
+	if len(v) != 1 || v[0].Scope != "flaky" || v[0].Metric != "max_error_rate" {
+		t.Fatalf("violations = %v, want one flaky/max_error_rate", v)
+	}
+	if v[0].Got < 0.4 || v[0].Got > 0.6 {
+		t.Fatalf("per-op error rate = %v, want ~0.5", v[0].Got)
+	}
+}

@@ -104,10 +104,37 @@ type Spec struct {
 	Measured int
 	// Think is the per-operation think time; zero means saturation.
 	Think time.Duration
+	// ThinkDist, when set, makes the think time stochastic: a
+	// lewis.ParseDistribution spec string ("negexp:0.5", "selfsimilar",
+	// "uniform", ...) drawn per operation, in microseconds, over
+	// [0, 2*mean] — where the mean is Think (or the per-client arrival
+	// interval under a Rate target). Draws come from a dedicated
+	// per-client seed-derived stream, never from ctx.Src, so pacing is
+	// deterministic run to run and the op streams are bit-identical to a
+	// constant-Think run.
+	ThinkDist string
 	// OpenLoop selects open-loop pacing for Think: operations are issued
 	// on a fixed arrival schedule of one per Think instead of sleeping
-	// after each completion.
+	// after each completion. Open-loop latency is measured from the
+	// operation's *scheduled* arrival, so queueing delay behind a slow
+	// predecessor counts (the coordinated-omission correction).
 	OpenLoop bool
+	// Rate, when positive, selects a true open-loop arrival-rate target:
+	// Rate operations per second across all clients (each client issues
+	// one per clients/Rate seconds, client start offsets staggered evenly
+	// across one interval). Mutually exclusive with Think; implies
+	// open-loop pacing and scheduled-arrival latency.
+	Rate float64
+	// TolerateErrors keeps the run going when an op fails: the failure is
+	// counted in the op's Errors tally (excluded from Count, latency and
+	// throughput) instead of aborting the run — the load-test stance,
+	// where error *rate* is an SLO, not a fatal condition. Capability
+	// skips are recorded separately and never count as errors.
+	TolerateErrors bool
+	// SLO, when set, declares the pass/fail bounds a caller evaluates
+	// against the Result after the measured phase (the engine itself does
+	// not gate; see SLO.Evaluate).
+	SLO *SLO
 	// Seed drives the default per-client sources.
 	Seed int64
 	// ColdStart drops the backend's cache before the run.
@@ -143,6 +170,10 @@ type OpMetrics struct {
 	Count int64
 	// Skipped counts executions that reported a capability skip.
 	Skipped int64
+	// Errors counts failures tolerated under Spec.TolerateErrors. Errored
+	// executions contribute to no other aggregate: Count, latency and
+	// throughput cover successful operations only.
+	Errors int64
 	// Response is the per-operation wall-clock response time in
 	// microseconds; ResponseQ retains observations for quantiles.
 	Response  stats.Welford
@@ -176,6 +207,7 @@ func (m *OpMetrics) add(objects int, ios uint64, d time.Duration) {
 func (m *OpMetrics) Merge(o *OpMetrics) {
 	m.Count += o.Count
 	m.Skipped += o.Skipped
+	m.Errors += o.Errors
 	m.Response.Merge(&o.Response)
 	m.ResponseQ.Merge(&o.ResponseQ)
 	m.Objects.Merge(&o.Objects)
@@ -218,6 +250,21 @@ func (r *Result) P95() float64 { return r.Total.ResponseQ.P95() }
 // P99 is the 99th percentile response time in microseconds.
 func (r *Result) P99() float64 { return r.Total.ResponseQ.P99() }
 
+// ErrorRate is tolerated failures over attempted operations,
+// Errors / (Count + Errors); capability skips are in neither term. Zero
+// when nothing was attempted.
+func (r *Result) ErrorRate() float64 {
+	return errorRate(r.Total.Errors, r.Total.Count)
+}
+
+// errorRate computes errors / (ok + errors), zero on an empty run.
+func errorRate(errs, ok int64) float64 {
+	if errs+ok == 0 {
+		return 0
+	}
+	return float64(errs) / float64(errs+ok)
+}
+
 // MeanIOsPerOp is the headline I/O figure: the exact phase disk delta over
 // the executed operation count.
 func (r *Result) MeanIOsPerOp() float64 {
@@ -230,6 +277,10 @@ func (r *Result) MeanIOsPerOp() float64 {
 // Runner executes one Spec.
 type Runner struct {
 	Spec *Spec
+
+	// thinkDist is the parsed Spec.ThinkDist (nil for constant pacing),
+	// resolved once per run.
+	thinkDist lewis.Distribution
 }
 
 // Run is shorthand for (&Runner{Spec: spec}).Run().
@@ -286,7 +337,40 @@ func (s *Spec) validate() error {
 	if s.Think < 0 {
 		return fmt.Errorf("workload %q: negative think time", s.Name)
 	}
+	if s.Rate < 0 {
+		return fmt.Errorf("workload %q: negative arrival rate", s.Name)
+	}
+	if s.Rate > 0 && s.Think > 0 {
+		return fmt.Errorf("workload %q: Rate and Think are mutually exclusive (a rate target sets the arrival interval itself)", s.Name)
+	}
+	if s.ThinkDist != "" {
+		if _, err := lewis.ParseDistribution(s.ThinkDist); err != nil {
+			return fmt.Errorf("workload %q: think distribution: %w", s.Name, err)
+		}
+		if s.interval() <= 0 {
+			return fmt.Errorf("workload %q: ThinkDist needs a think time or a rate target to scale to", s.Name)
+		}
+	}
+	if err := s.SLO.Validate(); err != nil {
+		return fmt.Errorf("workload %q: %w", s.Name, err)
+	}
 	return nil
+}
+
+// interval is the mean inter-operation gap per client: the arrival
+// interval clients/Rate under a rate target, the think time otherwise.
+func (s *Spec) interval() time.Duration {
+	if s.Rate > 0 {
+		return time.Duration(float64(s.clients()) / s.Rate * float64(time.Second))
+	}
+	return s.Think
+}
+
+// openLoop reports whether pacing follows an arrival schedule: an
+// explicit OpenLoop, or any rate target (a rate is open-loop by
+// definition — arrivals do not wait for completions).
+func (s *Spec) openLoop() bool {
+	return s.OpenLoop || s.Rate > 0
 }
 
 // clients resolves the effective client count.
@@ -319,6 +403,11 @@ func (r *Runner) Run() (*Result, error) {
 	s := r.Spec
 	if err := s.validate(); err != nil {
 		return nil, err
+	}
+	r.thinkDist = nil
+	if s.ThinkDist != "" {
+		// Already validated; the parse cannot fail here.
+		r.thinkDist, _ = lewis.ParseDistribution(s.ThinkDist)
 	}
 	n := s.clients()
 	if s.ColdStart {
@@ -417,40 +506,26 @@ func (r *Runner) runClient(c int, barrier func()) (*clientResult, error) {
 		next = s.weightedSampler()
 	}
 
-	// Warmup: untimed, unrecorded, same stream discipline as measurement.
+	// Warmup: untimed, unrecorded, unpaced, same stream discipline as
+	// measurement.
 	for i := 0; i < s.Warmup; i++ {
 		idx := next(ctx)
-		if _, err := r.step(ctx, cm, idx, i, false); err != nil {
+		if _, err := r.step(ctx, cm, idx, i, false, zeroTime); err != nil {
 			barrier()
 			return nil, err
 		}
 	}
 	barrier()
 
-	//ocblint:allow determinism -- harness timing, not op logic
-	nextArrival := time.Now()
-	pace := func() {
-		if s.Think <= 0 {
-			return
-		}
-		if s.OpenLoop {
-			nextArrival = nextArrival.Add(s.Think)
-			//ocblint:allow determinism -- harness timing, not op logic
-			if d := time.Until(nextArrival); d > 0 {
-				time.Sleep(d)
-			}
-		} else {
-			time.Sleep(s.Think)
-		}
-	}
-
+	pace := r.newPacer(c)
 	if s.Measured > 0 {
 		for i := 0; i < s.Measured; i++ {
 			idx := next(ctx)
-			if _, err := r.step(ctx, cm, idx, i, true); err != nil {
+			arrival := pace.beforeOp()
+			if _, err := r.step(ctx, cm, idx, i, true, arrival); err != nil {
 				return nil, err
 			}
-			pace()
+			pace.afterOp()
 		}
 		return cm, nil
 	}
@@ -462,14 +537,106 @@ func (r *Runner) runClient(c int, barrier func()) (*clientResult, error) {
 			count = 1
 		}
 		for k := 0; k < count; k++ {
-			if _, err := r.step(ctx, cm, idx, seq, true); err != nil {
+			arrival := pace.beforeOp()
+			if _, err := r.step(ctx, cm, idx, seq, true, arrival); err != nil {
 				return nil, err
 			}
 			seq++
-			pace()
+			pace.afterOp()
 		}
 	}
 	return cm, nil
+}
+
+// zeroTime marks an operation without a scheduled arrival (closed-loop or
+// unpaced): its latency runs from the call into the op body alone.
+var zeroTime time.Time
+
+// thinkSeedOffset derives the per-client think-time streams from the
+// spec seed, disjoint by construction from the op-sampling streams
+// (seed + c*104729) and the suites' insert streams (seed + 15485863 +
+// c*104729): stochastic pacing must never perturb an op draw.
+const thinkSeedOffset = 32452843
+
+// pacer owns one client's inter-operation pacing. Open loop (OpenLoop,
+// or any Rate target) issues operations on an arrival schedule: beforeOp
+// waits for — and reports — the next scheduled arrival, and afterOp
+// advances the schedule by the (possibly stochastic) gap whether or not
+// the runner is on time, so a slow operation makes its successors
+// *late*, never *fewer*. Closed loop sleeps the gap after each
+// completion, the classic interactive-client model. The zero pacer is
+// inert (saturation).
+type pacer struct {
+	open bool
+	next time.Time // next scheduled arrival (open loop only)
+	gap  func() time.Duration
+}
+
+// newPacer builds client c's pacer; call it when the measured phase
+// starts, because the open-loop schedule anchors at the call time. Under
+// a Rate target the clients' schedules are staggered evenly across one
+// arrival interval (synchronized fan-out would otherwise fire all
+// clients in lockstep bursts a real open-loop population does not
+// produce).
+func (r *Runner) newPacer(c int) *pacer {
+	s := r.Spec
+	mean := s.interval()
+	if mean <= 0 {
+		return &pacer{}
+	}
+	p := &pacer{open: s.openLoop(), gap: func() time.Duration { return mean }}
+	if r.thinkDist != nil {
+		// Stochastic think times: gaps drawn in whole microseconds over
+		// [0, 2*mean] from a dedicated per-client seed-derived stream —
+		// never from ctx.Src, so the op streams stay bit-identical to a
+		// constant-Think run. Symmetric shapes (uniform, normal) keep the
+		// configured mean exactly; negexp:0.5 is the exponential think
+		// time of the paper's THINK, truncated at twice the mean.
+		src := lewis.New(s.Seed + thinkSeedOffset + int64(c)*104729)
+		dist := r.thinkDist
+		hi := int(2 * mean / time.Microsecond)
+		p.gap = func() time.Duration {
+			return time.Duration(dist.Draw(src, 0, hi, 0)) * time.Microsecond
+		}
+	}
+	if p.open {
+		//ocblint:allow determinism -- harness timing, not op logic
+		p.next = time.Now()
+		if s.Rate > 0 {
+			p.next = p.next.Add(mean * time.Duration(c) / time.Duration(s.clients()))
+		}
+	}
+	return p
+}
+
+// beforeOp waits for the operation's scheduled arrival and returns it;
+// the zero time under closed-loop or unpaced specs. When the runner is
+// behind schedule it does not wait — the operation is already overdue,
+// and its latency will carry the lateness as queueing delay.
+func (p *pacer) beforeOp() time.Time {
+	if !p.open {
+		return zeroTime
+	}
+	arrival := p.next
+	//ocblint:allow determinism -- harness timing, not op logic
+	if d := time.Until(arrival); d > 0 {
+		time.Sleep(d)
+	}
+	return arrival
+}
+
+// afterOp advances the arrival schedule (open loop) or sleeps the think
+// time (closed loop).
+func (p *pacer) afterOp() {
+	if p.gap == nil {
+		return
+	}
+	g := p.gap()
+	if p.open {
+		p.next = p.next.Add(g)
+	} else if g > 0 {
+		time.Sleep(g)
+	}
 }
 
 // weightedSampler returns the default mixed-mode op sampler: a draw from
@@ -496,15 +663,36 @@ func (s *Spec) weightedSampler() func(*Ctx) int {
 // Run with the I/O delta sampled around it, then metric recording. A skip
 // (ErrSkip or a missing backend capability) is recorded, not failed.
 //
+// A non-zero arrival is the operation's scheduled arrival under open-loop
+// pacing: the recorded latency is time.Since(arrival) at completion, so an
+// operation issued late (the runner stuck behind a slow predecessor)
+// carries its queueing delay — the coordinated-omission correction. The
+// lateness is sampled once at entry, before Pre, so Pre stays untimed.
+//
 //ocblint:allocfree -- steady-state hot path
-func (r *Runner) step(ctx *Ctx, cm *clientResult, idx, seq int, record bool) (int, error) {
+func (r *Runner) step(ctx *Ctx, cm *clientResult, idx, seq int, record bool, arrival time.Time) (int, error) {
 	s := r.Spec
+	var late time.Duration
+	if !arrival.IsZero() {
+		//ocblint:allow determinism -- harness timing, not op logic
+		late = time.Since(arrival)
+		if late < 0 {
+			late = 0
+		}
+	}
 	op := &s.Ops[idx]
 	if op.Pre != nil {
 		if err := op.Pre(ctx); err != nil {
 			if isSkip(err) {
 				if record {
 					r.recordSkip(cm, idx, err)
+				}
+				return 0, nil
+			}
+			if s.TolerateErrors {
+				if record {
+					cm.perOp[idx].Errors++
+					cm.total.Errors++
 				}
 				return 0, nil
 			}
@@ -523,7 +711,7 @@ func (r *Runner) step(ctx *Ctx, cm *clientResult, idx, seq int, record bool) (in
 	t0 := time.Now()
 	objects, err := op.Run(ctx)
 	//ocblint:allow determinism -- harness timing, not op logic
-	d := time.Since(t0)
+	d := time.Since(t0) + late
 	ios := s.Backend.DiskStats().TransactionIOs() - ioBefore
 	if s.Lock != nil {
 		if op.Mutating {
@@ -538,6 +726,16 @@ func (r *Runner) step(ctx *Ctx, cm *clientResult, idx, seq int, record bool) (in
 			// executions: the measured phase's counters cover it alone.
 			if record {
 				r.recordSkip(cm, idx, err)
+			}
+			return 0, nil
+		}
+		if s.TolerateErrors {
+			// Load-test stance: the failure becomes an Errors tick (the
+			// SLO's error-rate input) and the client keeps going. Warmup
+			// failures are not recorded, mirroring skips.
+			if record {
+				cm.perOp[idx].Errors++
+				cm.total.Errors++
 			}
 			return 0, nil
 		}
